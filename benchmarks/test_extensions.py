@@ -1,0 +1,68 @@
+"""Benchmarks for the implemented future-work extensions and sensitivity sweeps.
+
+These are not paper figures; they cover the extensions the paper lists as
+future work (syscall batching, dynamic runtime selection, function state) and
+the sensitivity analysis DESIGN.md calls out, so their cost is tracked the
+same way as the reproduced figures.
+"""
+
+from repro.core.config import RoadrunnerConfig
+from repro.experiments.environment import build_pair_setup
+from repro.experiments.sensitivity import sweep_parameter
+from repro.platform.runtime_selector import RuntimeSelector, WorkflowProfile
+from repro.sim.costs import DEFAULT_COST_MODEL
+from repro.workloads.generators import make_payload
+
+MB = 1024 * 1024
+
+
+def test_extension_syscall_batching(benchmark):
+    def run():
+        setup = build_pair_setup(
+            "roadrunner-kernel", config=RoadrunnerConfig.with_syscall_batching(factor=16)
+        )
+        payload = make_payload(100)
+        return setup.channel.transfer(setup.source, setup.target, payload).metrics
+
+    batched = benchmark.pedantic(run, rounds=3, iterations=1)
+
+    plain_setup = build_pair_setup("roadrunner-kernel")
+    plain = plain_setup.channel.transfer(
+        plain_setup.source, plain_setup.target, make_payload(100)
+    ).metrics
+    assert batched.syscalls < plain.syscalls
+    assert batched.total_latency_s <= plain.total_latency_s
+
+
+def test_extension_runtime_selector(benchmark):
+    selector = RuntimeSelector()
+    profiles = [
+        WorkflowProfile(payload_bytes=size * MB, colocatable=colocatable, cold_start_fraction=cold)
+        for size in (1, 10, 100)
+        for colocatable in (True, False)
+        for cold in (0.0, 0.5)
+    ]
+
+    def run():
+        return [selector.recommend(profile) for profile in profiles]
+
+    recommendations = benchmark(run)
+    assert len(recommendations) == len(profiles)
+    # Roadrunner-based configurations dominate whenever colocation is possible.
+    for profile, recommendation in zip(profiles, recommendations):
+        if profile.colocatable and profile.payload_bytes >= 10 * MB:
+            assert recommendation.data_passing.value.startswith("roadrunner")
+
+
+def test_sensitivity_network_bandwidth(benchmark):
+    base = DEFAULT_COST_MODEL.network_bandwidth
+
+    def run():
+        return sweep_parameter(
+            "network_bandwidth",
+            [base * 0.25, base, base * 4],
+            payload_mb=50,
+        )
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert all(point.improvement_pct > 0 for point in result.points)

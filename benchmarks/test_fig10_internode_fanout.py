@@ -1,0 +1,45 @@
+"""Benchmark: regenerate Fig. 10 (inter-node fan-out scalability, 8 panels).
+
+Function a on the edge node fans a 10 MB payload out to N replicas of
+function b on the cloud node (N = 1..100), comparing RoadRunner (Network),
+RunC and Wasmedge.
+"""
+
+from repro.experiments.fig10 import run_fig10
+from repro.experiments.panels import (
+    PANEL_RAM,
+    PANEL_SERIALIZATION_LATENCY,
+    PANEL_TOTAL_LATENCY,
+    PANEL_TOTAL_THROUGHPUT,
+    PANEL_USER_CPU,
+)
+
+RR_NET = "RoadRunner (Network)"
+RUNC = "RunC"
+WASMEDGE = "Wasmedge"
+
+
+def test_fig10_internode_fanout(benchmark, save_result):
+    result = benchmark.pedantic(run_fig10, rounds=1, iterations=1)
+    save_result("fig10", result)
+
+    latency = result.panel(PANEL_TOTAL_LATENCY)
+    throughput = result.panel(PANEL_TOTAL_THROUGHPUT)
+    serialization = result.panel(PANEL_SERIALIZATION_LATENCY)
+
+    for i, _degree in enumerate(result.x_values):
+        # Roadrunner stays close to RunC and clearly below Wasmedge (Fig. 10a).
+        assert latency[RR_NET][i] < latency[WASMEDGE][i]
+        assert serialization[RR_NET][i] < 0.05 * serialization[WASMEDGE][i]
+
+    largest = len(result.x_values) - 1
+    # Sec. 6.4: up to ~65 % lower latency and ~2.8x throughput vs Wasmedge.
+    assert 1 - latency[RR_NET][largest] / latency[WASMEDGE][largest] >= 0.4
+    assert throughput[RR_NET][largest] >= 2.0 * throughput[WASMEDGE][largest]
+    # Under high load Roadrunner reports less user CPU than Wasmedge (Fig. 10f).
+    user_cpu = result.panel(PANEL_USER_CPU)
+    assert user_cpu[RR_NET][largest] < user_cpu[WASMEDGE][largest]
+    # RAM grows with fan-out for every runtime (Fig. 10h).
+    ram = result.panel(PANEL_RAM)
+    for series in ram.values():
+        assert series[largest] > series[0]

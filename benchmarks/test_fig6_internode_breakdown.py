@@ -1,0 +1,27 @@
+"""Benchmark: regenerate Fig. 6 (inter-node 100 MB latency breakdown).
+
+Panels: (a) transfer / serialization / Wasm VM I/O components, (b)
+serialization overhead alone, (c) normalized shares — for Roadrunner (RR),
+RunC (RC) and WasmEdge (W).
+"""
+
+from repro.experiments.fig6 import run_fig6
+
+
+def test_fig6_breakdown_100mb(benchmark, save_result):
+    result = benchmark.pedantic(run_fig6, rounds=3, iterations=1)
+    save_result("fig6", result)
+
+    totals = dict(zip(result.x_values, result.panel("a_latency_breakdown_s")["Total"]))
+    serialization = dict(zip(result.x_values, result.panel("b_serialization_latency_s")["Serialization"]))
+
+    # Ordering: Roadrunner < RunC < WasmEdge on total latency.
+    assert totals["RR"] < totals["RC"] < totals["W"]
+    # Headline ratios (shape): ~62 % total reduction vs WasmEdge, single-digit
+    # percent vs RunC, >=97 % serialization reduction vs WasmEdge.
+    assert 0.45 <= 1 - totals["RR"] / totals["W"] <= 0.75
+    assert 0.0 < 1 - totals["RR"] / totals["RC"] <= 0.25
+    assert serialization["RR"] <= 0.03 * serialization["W"]
+    # Roadrunner pays a visible Wasm VM I/O share that RunC does not.
+    wasm_io = dict(zip(result.x_values, result.panel("c_normalized_share_pct")["Wasm VM I/O"]))
+    assert wasm_io["RR"] > wasm_io["RC"]

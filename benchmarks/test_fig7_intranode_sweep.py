@@ -1,0 +1,47 @@
+"""Benchmark: regenerate Fig. 7 (intra-node payload-size sweep, 8 panels).
+
+Chained functions a -> b on one node, 1-500 MB payloads, comparing
+RoadRunner (User space), RoadRunner (Kernel space), RunC and Wasmedge.
+"""
+
+from repro.experiments.fig7 import run_fig7
+from repro.experiments.panels import (
+    PANEL_RAM,
+    PANEL_SERIALIZATION_LATENCY,
+    PANEL_TOTAL_CPU,
+    PANEL_TOTAL_LATENCY,
+    PANEL_TOTAL_THROUGHPUT,
+)
+
+RR_USER = "RoadRunner (User space)"
+RR_KERNEL = "RoadRunner (Kernel space)"
+RUNC = "RunC"
+WASMEDGE = "Wasmedge"
+
+
+def test_fig7_intranode_sweep(benchmark, save_result):
+    result = benchmark.pedantic(run_fig7, rounds=1, iterations=1)
+    save_result("fig7", result)
+
+    latency = result.panel(PANEL_TOTAL_LATENCY)
+    for i, _size in enumerate(result.x_values):
+        # Latency ordering at every payload size (Fig. 7a).
+        assert latency[RR_USER][i] < latency[RR_KERNEL][i] < latency[WASMEDGE][i]
+        assert latency[RR_USER][i] < latency[RUNC][i]
+        # Headline bands: 44-89 %+ vs Wasmedge, 10 %+ vs RunC (Sec. 6.3).
+        assert 1 - latency[RR_USER][i] / latency[WASMEDGE][i] >= 0.44
+        assert 1 - latency[RR_USER][i] / latency[RUNC][i] >= 0.10
+        assert 1 - latency[RR_KERNEL][i] / latency[WASMEDGE][i] >= 0.70
+
+    throughput = result.panel(PANEL_TOTAL_THROUGHPUT)
+    serialization = result.panel(PANEL_SERIALIZATION_LATENCY)
+    cpu = result.panel(PANEL_TOTAL_CPU)
+    ram = result.panel(PANEL_RAM)
+    largest = len(result.x_values) - 1
+    # Throughput mirrors latency (Fig. 7b); serialization is negligible for
+    # Roadrunner and dominant for Wasmedge (Fig. 7c); CPU and RAM drop
+    # markedly vs Wasmedge (Figs. 7e-h).
+    assert throughput[RR_USER][largest] > throughput[WASMEDGE][largest]
+    assert serialization[RR_USER][largest] < 0.05 * serialization[WASMEDGE][largest]
+    assert cpu[RR_USER][largest] < 0.2 * cpu[WASMEDGE][largest]
+    assert ram[RR_USER][largest] < ram[WASMEDGE][largest]

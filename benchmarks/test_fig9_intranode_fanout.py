@@ -1,0 +1,49 @@
+"""Benchmark: regenerate Fig. 9 (intra-node fan-out scalability, 8 panels).
+
+Function a fans a 10 MB payload out to N replicas of function b on the same
+node (N = 1..100), comparing RoadRunner (User space), RoadRunner (Kernel
+space), RunC and Wasmedge.
+"""
+
+from repro.experiments.fig9 import run_fig9
+from repro.experiments.panels import (
+    PANEL_SERIALIZATION_LATENCY,
+    PANEL_TOTAL_CPU,
+    PANEL_TOTAL_LATENCY,
+    PANEL_TOTAL_THROUGHPUT,
+)
+
+RR_USER = "RoadRunner (User space)"
+RR_KERNEL = "RoadRunner (Kernel space)"
+RUNC = "RunC"
+WASMEDGE = "Wasmedge"
+
+
+def test_fig9_intranode_fanout(benchmark, save_result):
+    result = benchmark.pedantic(run_fig9, rounds=1, iterations=1)
+    save_result("fig9", result)
+
+    latency = result.panel(PANEL_TOTAL_LATENCY)
+    throughput = result.panel(PANEL_TOTAL_THROUGHPUT)
+    serialization = result.panel(PANEL_SERIALIZATION_LATENCY)
+    cpu = result.panel(PANEL_TOTAL_CPU)
+
+    for i, _degree in enumerate(result.x_values):
+        # Roadrunner (User space) keeps the lowest latency; Wasmedge the
+        # highest (Fig. 9a), and the throughput ordering mirrors it (Fig. 9b).
+        assert latency[RR_USER][i] < latency[WASMEDGE][i]
+        assert latency[RR_KERNEL][i] < latency[WASMEDGE][i]
+        assert latency[RR_USER][i] < latency[RUNC][i]
+        assert throughput[RR_USER][i] > throughput[WASMEDGE][i]
+        # Serialization stays negligible for both Roadrunner modes (Fig. 9c).
+        assert serialization[RR_USER][i] < 0.05 * serialization[WASMEDGE][i]
+        assert serialization[RR_KERNEL][i] < 0.05 * serialization[WASMEDGE][i]
+
+    largest = len(result.x_values) - 1
+    # Throughput gains at high fan-out (Sec. 6.4): several-fold over Wasmedge,
+    # above RunC for the user-space mode.
+    assert throughput[RR_USER][largest] >= 4.0 * throughput[WASMEDGE][largest]
+    assert throughput[RR_USER][largest] > throughput[RUNC][largest]
+    assert throughput[RR_KERNEL][largest] >= 2.0 * throughput[WASMEDGE][largest]
+    # CPU stays far below Wasmedge even at fan-out 100 (Fig. 9e).
+    assert cpu[RR_USER][largest] < 0.25 * cpu[WASMEDGE][largest]

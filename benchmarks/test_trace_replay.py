@@ -1,0 +1,38 @@
+"""Benchmark: trace-driven replay of realistic invocation patterns.
+
+Not a paper figure — it complements the fixed-size sweeps with bursty and
+mixed-size traffic, confirming that Roadrunner's advantage holds under a
+production-like workload mix rather than only at isolated payload sizes.
+"""
+
+from repro.workloads.traces import bursty_trace, compare_modes_on_trace, mixed_size_trace
+
+INTRA_MODES = ("roadrunner-user", "roadrunner-kernel", "runc-http", "wasmedge-http")
+
+
+def test_trace_replay_mixed_sizes(benchmark):
+    trace = mixed_size_trace(count=120, seed=7)
+
+    def run():
+        return compare_modes_on_trace(trace, INTRA_MODES)
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    roadrunner = results["roadrunner-user"]
+    wasmedge = results["wasmedge-http"]
+    runc = results["runc-http"]
+    assert roadrunner.mean_latency_s < runc.mean_latency_s < wasmedge.mean_latency_s
+    assert roadrunner.p95_latency_s < wasmedge.p95_latency_s
+    assert roadrunner.total_cpu_s < 0.2 * wasmedge.total_cpu_s
+
+
+def test_trace_replay_bursty(benchmark):
+    trace = bursty_trace(bursts=4, burst_size=25, payload_mb=10)
+
+    def run():
+        return compare_modes_on_trace(trace, ("roadrunner-user", "wasmedge-http"))
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert (
+        results["roadrunner-user"].busy_fraction
+        < results["wasmedge-http"].busy_fraction
+    )

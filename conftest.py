@@ -1,0 +1,17 @@
+"""Repository-level pytest configuration.
+
+Makes the test and benchmark suites runnable straight from a source checkout:
+if ``repro`` has not been installed (``pip install -e .``), the ``src/``
+layout is added to ``sys.path`` so imports still resolve.
+"""
+
+import os
+import sys
+
+_SRC = os.path.join(os.path.dirname(os.path.abspath(__file__)), "src")
+
+try:  # pragma: no cover - trivial import guard
+    import repro  # noqa: F401
+except ImportError:  # pragma: no cover
+    if _SRC not in sys.path:
+        sys.path.insert(0, _SRC)

@@ -1,0 +1,77 @@
+"""Quickstart: two chained Wasm functions exchanging data through Roadrunner.
+
+Deploys ``ingest`` and ``infer`` into one shared Wasm VM on a single node,
+sends a small text payload through the Roadrunner facade channel (which picks
+the user-space mode automatically) and prints the latency breakdown next to
+the WasmEdge HTTP baseline for the same transfer.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro import (
+    Cluster,
+    FunctionSpec,
+    Invoker,
+    Orchestrator,
+    Payload,
+    RoadrunnerChannel,
+    RuntimeKind,
+    SequenceWorkflow,
+    WasmEdgeHttpChannel,
+)
+
+
+def run_roadrunner(payload: Payload):
+    """Deploy the chained pair in one Wasm VM and transfer through Roadrunner."""
+    cluster = Cluster.single_node()
+    orchestrator = Orchestrator(cluster)
+    specs = [
+        FunctionSpec("ingest", runtime=RuntimeKind.ROADRUNNER, workflow="quickstart"),
+        FunctionSpec("infer", runtime=RuntimeKind.ROADRUNNER, workflow="quickstart"),
+    ]
+    orchestrator.deploy_all(specs, share_vm_key="quickstart", materialize=True)
+    channel = RoadrunnerChannel(cluster)
+    invoker = Invoker(orchestrator, channel)
+    result = invoker.invoke(SequenceWorkflow(["ingest", "infer"]), payload)
+    return channel, result
+
+
+def run_wasmedge_baseline(payload: Payload):
+    """The same pair as separate WasmEdge functions talking HTTP through WASI."""
+    cluster = Cluster.single_node()
+    orchestrator = Orchestrator(cluster)
+    specs = [
+        FunctionSpec("ingest", runtime=RuntimeKind.WASMEDGE),
+        FunctionSpec("infer", runtime=RuntimeKind.WASMEDGE),
+    ]
+    orchestrator.deploy_all(specs, materialize=True)
+    invoker = Invoker(orchestrator, WasmEdgeHttpChannel(cluster))
+    return invoker.invoke(SequenceWorkflow(["ingest", "infer"]), payload)
+
+
+def main() -> None:
+    payload = Payload.from_text("hello, roadrunner! " * 2048)  # ~38 KB of text
+    channel, roadrunner = run_roadrunner(payload)
+    baseline = run_wasmedge_baseline(payload)
+
+    delivered = roadrunner.outcomes["ingest->infer"].delivered
+    payload.require_match(delivered)
+
+    print("Payload size          : %d bytes" % payload.size)
+    print("Roadrunner mode       : %s" % channel.last_mode.value)
+    print("Roadrunner latency    : %.6f s" % roadrunner.total_latency_s)
+    print("  serialization       : %.6f s" % roadrunner.aggregate.serialization_s)
+    print("  Wasm VM I/O         : %.6f s" % roadrunner.aggregate.wasm_io_s)
+    print("WasmEdge HTTP latency : %.6f s" % baseline.total_latency_s)
+    print("  serialization       : %.6f s" % baseline.aggregate.serialization_s)
+    speedup = baseline.total_latency_s / roadrunner.total_latency_s
+    print("Speedup               : %.1fx" % speedup)
+    print("Delivered payload matches the sent payload: OK")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,33 @@
+"""Reproduce every figure of the paper's evaluation and print the tables.
+
+This is a thin wrapper around :mod:`repro.experiments`: it runs Figs. 2, 6,
+7, 8, 9 and 10 (optionally with the full sweeps) and prints one fixed-width
+table per panel, in the same units the paper plots.
+
+Run with::
+
+    python examples/reproduce_paper.py            # quick sweeps (seconds)
+    python examples/reproduce_paper.py --full     # the paper's full sweeps
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.experiments.runner import render_all, run_all
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--full",
+        action="store_true",
+        help="run the full payload-size and fan-out sweeps instead of the quick subset",
+    )
+    arguments = parser.parse_args()
+    results = run_all(quick=not arguments.full)
+    print(render_all(results))
+
+
+if __name__ == "__main__":
+    main()

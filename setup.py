@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+The project is configured through ``pyproject.toml``; this file exists so the
+package can also be installed in environments without the ``wheel`` package
+(legacy ``pip install -e . --no-use-pep517`` code path).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,14 @@
+"""Baselines: the state-of-the-art data paths Roadrunner is compared against.
+
+* :class:`~repro.baselines.runc_http.RunCHttpChannel` — functions in RunC
+  containers exchanging serialized payloads over HTTP (the paper's
+  performance upper bound);
+* :class:`~repro.baselines.wasmedge_http.WasmEdgeHttpChannel` — WasmEdge
+  functions doing the same through WASI-mediated sockets, paying Wasm-speed
+  serialization and boundary copies on every byte.
+"""
+
+from repro.baselines.runc_http import RunCHttpChannel
+from repro.baselines.wasmedge_http import WasmEdgeHttpChannel
+
+__all__ = ["RunCHttpChannel", "WasmEdgeHttpChannel"]

@@ -1,0 +1,70 @@
+"""RunC + HTTP baseline: native containers, conventional data passing.
+
+The flow of Fig. 1a with native-speed serialization: the source container
+serializes the payload, POSTs it over HTTP (loopback or the inter-node link),
+the kernel copies it through the socket stack on both hosts, and the target
+deserializes.  This is the paper's upper bound — "the best achievable
+performance with Wasm" is to approach it (Sec. 6.1).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.net.http import HttpTransport
+from repro.payload import Payload
+from repro.platform.channel import ChannelError, DataPassingChannel
+from repro.platform.cluster import Cluster
+from repro.platform.deployment import DeployedFunction
+
+
+class RunCHttpChannel(DataPassingChannel):
+    """Container-to-container HTTP data passing."""
+
+    mode = "runc-http"
+    single_threaded = False
+    fanout_overhead_s = 0.0
+
+    def __init__(self, cluster: Cluster) -> None:
+        super().__init__(cluster.ledger)
+        self.cluster = cluster
+        self._transports: Dict[Tuple[str, str], HttpTransport] = {}
+
+    def supports(self, source: DeployedFunction, target: DeployedFunction) -> bool:
+        return not source.is_wasm and not target.is_wasm
+
+    def _transport(self, source: DeployedFunction, target: DeployedFunction) -> HttpTransport:
+        key = (source.name, target.name)
+        if key not in self._transports:
+            self._transports[key] = HttpTransport(
+                source_kernel=self.cluster.node(source.node_name).kernel,
+                target_kernel=self.cluster.node(target.node_name).kernel,
+                link=self.cluster.link_between(source.node_name, target.node_name),
+                name="http:%s->%s" % key,
+            )
+        return self._transports[key]
+
+    def _move(
+        self, source: DeployedFunction, target: DeployedFunction, payload: Payload
+    ) -> Payload:
+        if source.is_wasm or target.is_wasm:
+            raise ChannelError("runc-http requires container deployments on both ends")
+        # 1. Serialize at native speed in the source container.
+        wire_payload = source.serializer.serialize(payload, cgroup=source.cgroup)
+        # 2. POST the serialized body over HTTP.
+        transport = self._transport(source, target)
+        response = transport.post(
+            sender=source.process,
+            receiver=target.process,
+            body=wire_payload,
+            sender_in_wasm=False,
+            receiver_in_wasm=False,
+        )
+        # 3. Deserialize at native speed in the target container.
+        delivered = target.serializer.deserialize(
+            response.body, original_size=payload.size, cgroup=target.cgroup
+        )
+        # Release the staging buffers created for the exchange.
+        source.cgroup.memory.free(wire_payload.size)
+        target.cgroup.memory.free(payload.size)
+        return delivered

@@ -1,0 +1,101 @@
+"""WasmEdge + HTTP baseline: state-of-the-art Wasm serverless data passing.
+
+The same HTTP flow as the RunC baseline, but both endpoints are Wasm modules:
+serialization runs at Wasm speed inside the VM, the serialized body has to be
+copied across the VM boundary through WASI before it can reach the socket,
+and every socket read/write on the receiving side is a WASI host call.  This
+is the configuration the paper identifies as spending up to 60 % of its
+transfer time serializing (Fig. 2b) and is the main comparison target for
+Roadrunner.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.net.http import HttpTransport
+from repro.payload import Payload
+from repro.platform.channel import ChannelError, DataPassingChannel
+from repro.platform.cluster import Cluster
+from repro.platform.deployment import DeployedFunction
+
+
+class WasmEdgeHttpChannel(DataPassingChannel):
+    """Wasm-to-Wasm HTTP data passing through WASI."""
+
+    mode = "wasmedge-http"
+    single_threaded = False
+    fanout_overhead_s = 0.0
+
+    def __init__(self, cluster: Cluster) -> None:
+        super().__init__(cluster.ledger)
+        self.cluster = cluster
+        self._transports: Dict[Tuple[str, str], HttpTransport] = {}
+
+    def supports(self, source: DeployedFunction, target: DeployedFunction) -> bool:
+        return (
+            source.is_wasm
+            and target.is_wasm
+            and source.wasi is not None
+            and target.wasi is not None
+        )
+
+    def _transport(self, source: DeployedFunction, target: DeployedFunction) -> HttpTransport:
+        key = (source.name, target.name)
+        if key not in self._transports:
+            self._transports[key] = HttpTransport(
+                source_kernel=self.cluster.node(source.node_name).kernel,
+                target_kernel=self.cluster.node(target.node_name).kernel,
+                link=self.cluster.link_between(source.node_name, target.node_name),
+                name="wasi-http:%s->%s" % key,
+            )
+        return self._transports[key]
+
+    def _move(
+        self, source: DeployedFunction, target: DeployedFunction, payload: Payload
+    ) -> Payload:
+        if source.wasi is None or target.wasi is None:
+            raise ChannelError("wasmedge-http requires WASI-enabled Wasm deployments")
+        source_instance = source.require_wasm()
+        target_instance = target.require_wasm()
+
+        # 0. The source function already holds the payload in its linear
+        #    memory (producing it is not part of the measured transfer).
+        source_address = source_instance.produce_output(payload)
+
+        # 1. Serialize inside the Wasm VM (single-threaded, Wasm-speed).
+        wire_payload = source.serializer.serialize(payload, cgroup=source.cgroup)
+        staged_address = source_instance.memory.store_payload(wire_payload)
+
+        # 2. Copy the serialized body out of the VM through WASI (sock_send).
+        host_body = source.wasi.sock_send(source_instance, staged_address, wire_payload.size)
+
+        # 3. POST it over HTTP; both ends are WASI-mediated.
+        transport = self._transport(source, target)
+        response = transport.post(
+            sender=source.process,
+            receiver=target.process,
+            body=host_body,
+            sender_in_wasm=True,
+            receiver_in_wasm=True,
+        )
+
+        # 4. Copy the received body into the target VM through WASI (sock_recv).
+        received_address = target.wasi.sock_recv(target_instance, response.body)
+
+        # 5. Deserialize inside the target VM.
+        delivered = target.serializer.deserialize(
+            target_instance.memory.read_payload(received_address, response.body.size),
+            original_size=payload.size,
+            cgroup=target.cgroup,
+        )
+        target_instance.produce_output(delivered)
+
+        # Staging buffers are released once the exchange completes.
+        source_instance.memory.deallocate(staged_address)
+        source.cgroup.memory.free(wire_payload.size)
+        target.cgroup.memory.free(payload.size)
+        # The source's original output stays live (the guest owns it); track
+        # the address so repeated transfers do not leak allocator state.
+        source_instance.memory.deallocate(source_address)
+        return delivered

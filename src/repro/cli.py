@@ -1,0 +1,95 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+
+``figures``   regenerate the paper's figures (optionally the full sweeps) and
+              print them, or export them to CSV/JSON files.
+``claims``    evaluate the headline claims (paper vs measured) as a table.
+``select``    run the dynamic runtime selector on a workflow profile.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from typing import List, Optional
+
+from repro.experiments.claims import evaluate_claims, render_claims
+from repro.experiments.runner import render_all, run_all
+from repro.metrics.export import write_figure
+from repro.platform.runtime_selector import RuntimeSelector, WorkflowProfile
+
+
+def _cmd_figures(args: argparse.Namespace) -> int:
+    results = run_all(quick=not args.full)
+    if args.export_dir:
+        os.makedirs(args.export_dir, exist_ok=True)
+        for name, result in sorted(results.items()):
+            path = os.path.join(args.export_dir, "%s.%s" % (name, args.format))
+            write_figure(result, path, fmt=args.format)
+            print("wrote %s" % path)
+        return 0
+    print(render_all(results))
+    return 0
+
+
+def _cmd_claims(args: argparse.Namespace) -> int:
+    checks = evaluate_claims(payload_mb=args.payload_mb, fanout_degree=args.fanout)
+    print(render_claims(checks))
+    return 0 if all(c.satisfied for c in checks) else 1
+
+
+def _cmd_select(args: argparse.Namespace) -> int:
+    profile = WorkflowProfile(
+        payload_bytes=int(args.payload_mb * 1024 * 1024),
+        invocations_per_second=args.rate,
+        hops=args.hops,
+        cold_start_fraction=args.cold_start_fraction,
+        colocatable=not args.remote,
+    )
+    recommendation = RuntimeSelector().recommend(profile)
+    print("Recommended runtime      : %s" % recommendation.runtime.value)
+    print("Recommended data passing : %s" % recommendation.data_passing.value)
+    print("Estimated latency        : %.6f s/invocation" % recommendation.estimated_latency_s)
+    print("Rationale                : %s" % recommendation.rationale)
+    print("\nPer-candidate estimates:")
+    for name, value in sorted(recommendation.per_candidate_latency_s.items(), key=lambda kv: kv[1]):
+        print("  %-26s %.6f s" % (name, value))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    figures = subparsers.add_parser("figures", help="regenerate the paper's figures")
+    figures.add_argument("--full", action="store_true", help="run the full sweeps")
+    figures.add_argument("--export-dir", help="write one file per figure instead of printing")
+    figures.add_argument("--format", choices=("csv", "json", "txt"), default="csv")
+    figures.set_defaults(handler=_cmd_figures)
+
+    claims = subparsers.add_parser("claims", help="evaluate the headline claims")
+    claims.add_argument("--payload-mb", type=float, default=100.0)
+    claims.add_argument("--fanout", type=int, default=50)
+    claims.set_defaults(handler=_cmd_claims)
+
+    select = subparsers.add_parser("select", help="run the dynamic runtime selector")
+    select.add_argument("--payload-mb", type=float, default=10.0)
+    select.add_argument("--rate", type=float, default=5.0, help="invocations per second")
+    select.add_argument("--hops", type=int, default=1)
+    select.add_argument("--cold-start-fraction", type=float, default=0.01)
+    select.add_argument("--remote", action="store_true", help="stages cannot be colocated")
+    select.set_defaults(handler=_cmd_select)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

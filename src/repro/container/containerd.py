@@ -1,0 +1,101 @@
+"""A containerd-like high-level container manager.
+
+Containerd sits between the orchestrator and the low-level runtimes.  Its job
+here is dispatch: a bundle whose runtime class is ``runc`` becomes a container
+sandbox, a bundle whose runtime class names a Wasm shim is handed to the shim
+factory registered for it.  It also keeps the snapshot/worfklow metadata the
+Roadrunner shim consults when validating user-space (same-VM) colocation
+(Sec. 4.1: "the shim validates using the containerd snapshot").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from repro.container.oci import OciBundle
+from repro.container.runc import ContainerSandbox, RunCRuntime
+
+
+class ContainerdError(RuntimeError):
+    """Raised for unknown runtime classes or duplicate sandbox names."""
+
+
+@dataclass
+class SandboxHandle:
+    """What containerd returns to the orchestrator for a started workload."""
+
+    name: str
+    runtime_class: str
+    bundle: OciBundle
+    #: The concrete sandbox object (ContainerSandbox or a shim-specific type).
+    sandbox: object
+    workflow: str = "default"
+    tenant: str = "default"
+
+
+class Containerd:
+    """High-level manager dispatching bundles to registered runtimes."""
+
+    def __init__(self, runc: RunCRuntime) -> None:
+        self._runc = runc
+        self._shim_factories: Dict[str, Callable[[OciBundle], object]] = {}
+        self._handles: Dict[str, SandboxHandle] = {}
+
+    def register_shim(self, runtime_class: str, factory: Callable[[OciBundle], object]) -> None:
+        """Register a shim (e.g. Roadrunner) for a runtime class."""
+        if not runtime_class:
+            raise ContainerdError("runtime_class must be non-empty")
+        self._shim_factories[runtime_class] = factory
+
+    def start(
+        self,
+        bundle: OciBundle,
+        workflow: str = "default",
+        tenant: str = "default",
+        charge_cold_start: bool = False,
+    ) -> SandboxHandle:
+        """Start a workload from ``bundle`` using the appropriate runtime."""
+        if bundle.name in self._handles:
+            raise ContainerdError("a sandbox named %r is already running" % bundle.name)
+        if bundle.runtime_class == "runc":
+            sandbox: object = self._runc.create(bundle, charge_cold_start=charge_cold_start)
+        elif bundle.runtime_class in self._shim_factories:
+            sandbox = self._shim_factories[bundle.runtime_class](bundle)
+        else:
+            raise ContainerdError("no runtime registered for class %r" % bundle.runtime_class)
+        handle = SandboxHandle(
+            name=bundle.name,
+            runtime_class=bundle.runtime_class,
+            bundle=bundle,
+            sandbox=sandbox,
+            workflow=workflow,
+            tenant=tenant,
+        )
+        self._handles[bundle.name] = handle
+        return handle
+
+    def stop(self, name: str) -> None:
+        if name not in self._handles:
+            raise ContainerdError("no sandbox named %r" % name)
+        handle = self._handles.pop(name)
+        if isinstance(handle.sandbox, ContainerSandbox):
+            handle.sandbox.stop()
+
+    def handle(self, name: str) -> SandboxHandle:
+        if name not in self._handles:
+            raise ContainerdError("no sandbox named %r" % name)
+        return self._handles[name]
+
+    def snapshot(self, workflow: str) -> List[SandboxHandle]:
+        """All sandboxes belonging to one workflow (the colocation snapshot)."""
+        return [h for h in self._handles.values() if h.workflow == workflow]
+
+    def same_workflow_and_tenant(self, a: str, b: str) -> bool:
+        """The trust check behind Roadrunner's user-space mode."""
+        ha, hb = self.handle(a), self.handle(b)
+        return ha.workflow == hb.workflow and ha.tenant == hb.tenant
+
+    @property
+    def running(self) -> List[str]:
+        return sorted(self._handles)

@@ -1,0 +1,5 @@
+"""Entry point: ``python -m repro.experiments`` prints all reproduced figures."""
+
+from repro.experiments.runner import main
+
+main()

@@ -1,0 +1,48 @@
+"""Figure 9: intra-node fan-out scalability (eight panels).
+
+Function a fans a 10 MB payload out to N replicas of function b on the same
+node, N swept from 1 to 100, comparing RoadRunner (User space), RoadRunner
+(Kernel space), RunC and Wasmedge.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.experiments.environment import INTRA_NODE_MODES
+from repro.experiments.harness import sweep_fanout
+from repro.experiments.panels import add_fanout_panel_point
+from repro.experiments.results import FigureResult
+from repro.sim.costs import CostModel, DEFAULT_COST_MODEL
+from repro.workloads.generators import FANOUT_PAYLOAD_MB, fanout_degrees
+
+
+def run_fig9(
+    degrees: Optional[Sequence[int]] = None,
+    payload_mb: float = FANOUT_PAYLOAD_MB,
+    repetitions: int = 1,
+    cost_model: CostModel = DEFAULT_COST_MODEL,
+    modes: Sequence[str] = INTRA_NODE_MODES,
+) -> FigureResult:
+    """Reproduce Fig. 9 and return its eight panels."""
+    swept_degrees = list(degrees) if degrees is not None else fanout_degrees()
+    result = FigureResult(
+        figure="fig9",
+        title="Intra-node fan-out scalability with %g MB transfers" % payload_mb,
+        x_label="Fanout Degree",
+        x_values=list(swept_degrees),
+    )
+    sweep = sweep_fanout(
+        modes,
+        swept_degrees,
+        payload_mb=payload_mb,
+        internode=False,
+        repetitions=repetitions,
+        cost_model=cost_model,
+    )
+    cores = cost_model.cores_per_node
+    for degree in swept_degrees:
+        reference = max(sweep[mode][degree].makespan_s for mode in modes)
+        for mode in modes:
+            add_fanout_panel_point(result, mode, sweep[mode][degree], cores, reference_wall_s=reference)
+    return result

@@ -1,0 +1,164 @@
+"""Measurement harness: run setups, aggregate repetitions, build sweeps.
+
+The paper executes every configuration 10 times and reports the mean
+(Sec. 6.2).  The reproduction is deterministic, so the default repetition
+count is small; it is kept as a parameter so stability can still be checked.
+Every repetition uses a freshly built environment — nothing is shared between
+runs.
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.experiments.environment import TransferSetup, build_fanout_setup, build_pair_setup
+from repro.metrics.collector import AggregateMetrics, aggregate_samples
+from repro.metrics.records import TransferMetrics
+from repro.platform.invoker import WorkflowResult
+from repro.sim.costs import CostModel, DEFAULT_COST_MODEL
+from repro.workloads.generators import make_payload
+
+
+class HarnessError(RuntimeError):
+    """Raised for invalid harness parameters."""
+
+
+@dataclass(frozen=True)
+class FanoutAggregate:
+    """Aggregated measurements of a fan-out workflow.
+
+    Latency is the mean per-branch completion time (what one request sees);
+    throughput counts all branches completed over the workflow makespan; CPU,
+    serialization and memory are totals across branches.
+    """
+
+    mode: str
+    degree: int
+    payload_bytes: int
+    mean_branch_latency_s: float
+    makespan_s: float
+    serialization_s_total: float
+    wasm_io_s_total: float
+    cpu_user_s_total: float
+    cpu_kernel_s_total: float
+    peak_memory_mb: float
+
+    @property
+    def throughput_rps(self) -> float:
+        if self.makespan_s <= 0:
+            return float("inf")
+        return self.degree / self.makespan_s
+
+    @property
+    def serialization_throughput_rps(self) -> float:
+        if self.serialization_s_total <= 0:
+            return float("inf")
+        return self.degree / self.serialization_s_total
+
+    @property
+    def cpu_total_s(self) -> float:
+        return self.cpu_user_s_total + self.cpu_kernel_s_total
+
+
+def run_setup(setup: TransferSetup, payload_mb: float, real_payload: bool = False) -> WorkflowResult:
+    """Execute the setup's workflow once with a payload of ``payload_mb``."""
+    payload = make_payload(payload_mb, real=real_payload)
+    return setup.invoker.invoke(setup.workflow, payload)
+
+
+def measure_pair(
+    mode: str,
+    payload_mb: float,
+    internode: bool = False,
+    repetitions: int = 1,
+    cost_model: CostModel = DEFAULT_COST_MODEL,
+    real_payload: bool = False,
+) -> AggregateMetrics:
+    """Mean metrics for a chained a->b transfer in ``mode``."""
+    if repetitions < 1:
+        raise HarnessError("repetitions must be >= 1")
+    samples: List[TransferMetrics] = []
+    for _ in range(repetitions):
+        setup = build_pair_setup(mode, internode=internode, cost_model=cost_model)
+        result = run_setup(setup, payload_mb, real_payload=real_payload)
+        samples.append(result.aggregate)
+    return aggregate_samples(samples)
+
+
+def measure_fanout(
+    mode: str,
+    degree: int,
+    payload_mb: float,
+    internode: bool = False,
+    repetitions: int = 1,
+    cost_model: CostModel = DEFAULT_COST_MODEL,
+) -> FanoutAggregate:
+    """Aggregated metrics for a fan-out of ``degree`` transfers in ``mode``."""
+    if repetitions < 1:
+        raise HarnessError("repetitions must be >= 1")
+    results: List[WorkflowResult] = []
+    for _ in range(repetitions):
+        setup = build_fanout_setup(mode, degree=degree, internode=internode, cost_model=cost_model)
+        results.append(run_setup(setup, payload_mb))
+    return FanoutAggregate(
+        mode=mode,
+        degree=degree,
+        payload_bytes=results[0].aggregate.payload_bytes,
+        mean_branch_latency_s=statistics.fmean(r.mean_branch_latency_s for r in results),
+        makespan_s=statistics.fmean(r.total_latency_s for r in results),
+        serialization_s_total=statistics.fmean(r.aggregate.serialization_s for r in results),
+        wasm_io_s_total=statistics.fmean(r.aggregate.wasm_io_s for r in results),
+        cpu_user_s_total=statistics.fmean(r.aggregate.cpu_user_s for r in results),
+        cpu_kernel_s_total=statistics.fmean(r.aggregate.cpu_kernel_s for r in results),
+        peak_memory_mb=statistics.fmean(r.aggregate.peak_memory_mb for r in results),
+    )
+
+
+def sweep_pair(
+    modes: Sequence[str],
+    sizes_mb: Sequence[float],
+    internode: bool = False,
+    repetitions: int = 1,
+    cost_model: CostModel = DEFAULT_COST_MODEL,
+) -> Dict[str, Dict[float, AggregateMetrics]]:
+    """Run the payload-size sweep for every mode; keyed by mode then size."""
+    results: Dict[str, Dict[float, AggregateMetrics]] = {}
+    for mode in modes:
+        per_size: Dict[float, AggregateMetrics] = {}
+        for size in sizes_mb:
+            per_size[size] = measure_pair(
+                mode,
+                payload_mb=size,
+                internode=internode,
+                repetitions=repetitions,
+                cost_model=cost_model,
+            )
+        results[mode] = per_size
+    return results
+
+
+def sweep_fanout(
+    modes: Sequence[str],
+    degrees: Sequence[int],
+    payload_mb: float,
+    internode: bool = False,
+    repetitions: int = 1,
+    cost_model: CostModel = DEFAULT_COST_MODEL,
+) -> Dict[str, Dict[int, FanoutAggregate]]:
+    """Run the fan-out sweep for every mode; keyed by mode then degree."""
+    results: Dict[str, Dict[int, FanoutAggregate]] = {}
+    for mode in modes:
+        per_degree: Dict[int, FanoutAggregate] = {}
+        for degree in degrees:
+            per_degree[degree] = measure_fanout(
+                mode,
+                degree=degree,
+                payload_mb=payload_mb,
+                internode=internode,
+                repetitions=repetitions,
+                cost_model=cost_model,
+            )
+        results[mode] = per_degree
+    return results

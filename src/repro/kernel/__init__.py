@@ -1,0 +1,34 @@
+"""Kernel substrate: processes, cgroups, pipes, sockets, splice/vmsplice.
+
+This package models the host-OS mechanisms Roadrunner relies on.  Its job is
+to make copies and context switches *explicit*: every byte that crosses the
+user/kernel boundary is charged to the ledger as a copy, every syscall and
+context switch has a fixed cost, and the zero-copy paths (``vmsplice`` into a
+pipe, ``splice`` between file descriptors) move page references instead of
+bytes.  The paper's claimed gains come precisely from replacing copies with
+reference moves, so the substrate is where those claims are actually
+exercised rather than assumed.
+"""
+
+from repro.kernel.cgroups import Cgroup
+from repro.kernel.process import Process
+from repro.kernel.buffers import KernelBuffer
+from repro.kernel.kernel import Kernel, KernelError
+from repro.kernel.pipes import Pipe, PipeError
+from repro.kernel.sockets import SocketError, TcpConnection, UnixSocketPair
+from repro.kernel.filesystem import FileSystemError, VirtualFileSystem
+
+__all__ = [
+    "Cgroup",
+    "Process",
+    "KernelBuffer",
+    "Kernel",
+    "KernelError",
+    "Pipe",
+    "PipeError",
+    "SocketError",
+    "TcpConnection",
+    "UnixSocketPair",
+    "FileSystemError",
+    "VirtualFileSystem",
+]

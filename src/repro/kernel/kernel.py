@@ -1,0 +1,156 @@
+"""The per-node kernel: process management and boundary-crossing charges.
+
+One :class:`Kernel` exists per cluster node.  It is the only place that
+charges user/kernel boundary copies, syscall entry costs and context switches
+— pipes and sockets delegate to it, so the accounting is consistent across
+every data path (HTTP baseline, Unix-socket IPC, spliced network transfer).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, Optional
+
+from repro.kernel.cgroups import Cgroup
+from repro.kernel.process import Process
+from repro.payload import Payload
+from repro.sim.costs import CostModel, DEFAULT_COST_MODEL
+from repro.sim.ledger import CostCategory, CostLedger, CpuDomain, MemoryMeter
+
+
+class KernelError(RuntimeError):
+    """Raised for invalid kernel operations."""
+
+
+class Kernel:
+    """Kernel of a single host node."""
+
+    def __init__(
+        self,
+        ledger: CostLedger,
+        cost_model: CostModel = DEFAULT_COST_MODEL,
+        node_name: str = "node",
+    ) -> None:
+        self.ledger = ledger
+        self.cost_model = cost_model
+        self.node_name = node_name
+        self._pid_counter = itertools.count(start=1)
+        self._processes: Dict[int, Process] = {}
+
+    # -- process management ------------------------------------------------------
+
+    def create_process(self, name: str, baseline_rss_bytes: int = 0) -> Process:
+        """Spawn a process with its own cgroup and memory meter."""
+        pid = next(self._pid_counter)
+        meter = self.ledger.meter("%s/%s" % (self.node_name, name), baseline_rss_bytes)
+        cgroup = Cgroup(name="%s/%s" % (self.node_name, name), memory=meter)
+        process = Process(pid=pid, name=name, cgroup=cgroup)
+        self._processes[pid] = process
+        return process
+
+    def process(self, pid: int) -> Process:
+        if pid not in self._processes:
+            raise KernelError("unknown pid %d on node %s" % (pid, self.node_name))
+        return self._processes[pid]
+
+    @property
+    def processes(self) -> Dict[int, Process]:
+        return dict(self._processes)
+
+    # -- accounting primitives ----------------------------------------------------------
+
+    def syscall(self, process: Process, name: str, count: int = 1, wall_time: bool = True) -> float:
+        """Charge ``count`` syscall entries made by ``process``."""
+        if count < 1:
+            raise KernelError("syscall count must be >= 1")
+        seconds = self.cost_model.syscall_time(count)
+        self.ledger.charge(
+            CostCategory.SYSCALL,
+            seconds,
+            cpu_domain=CpuDomain.KERNEL,
+            label="%s:%s" % (process.name, name),
+            wall_time=wall_time,
+            units=count,
+        )
+        process.charge_cpu(CpuDomain.KERNEL, seconds)
+        process.note_syscall(count)
+        return seconds
+
+    def context_switch(self, from_process: Process, to_process: Optional[Process] = None) -> float:
+        """Charge one context switch away from ``from_process``."""
+        seconds = self.cost_model.context_switch_overhead
+        self.ledger.charge(
+            CostCategory.CONTEXT_SWITCH,
+            seconds,
+            cpu_domain=CpuDomain.KERNEL,
+            label="switch:%s" % from_process.name,
+        )
+        from_process.charge_cpu(CpuDomain.KERNEL, seconds)
+        from_process.note_context_switch()
+        if to_process is not None:
+            to_process.note_context_switch()
+        return seconds
+
+    def copy_user_to_kernel(self, process: Process, nbytes: int, label: str = "") -> float:
+        """Copy ``nbytes`` from user space into kernel buffers."""
+        seconds = self.cost_model.user_kernel_copy_time(nbytes)
+        self.ledger.charge(
+            CostCategory.MEMCPY,
+            seconds,
+            cpu_domain=CpuDomain.KERNEL,
+            nbytes=nbytes,
+            copied=True,
+            label=label or "%s:user->kernel" % process.name,
+        )
+        process.charge_cpu(CpuDomain.KERNEL, seconds)
+        return seconds
+
+    def copy_kernel_to_user(self, process: Process, nbytes: int, label: str = "") -> float:
+        """Copy ``nbytes`` from kernel buffers into user space."""
+        seconds = self.cost_model.user_kernel_copy_time(nbytes)
+        self.ledger.charge(
+            CostCategory.MEMCPY,
+            seconds,
+            cpu_domain=CpuDomain.KERNEL,
+            nbytes=nbytes,
+            copied=True,
+            label=label or "%s:kernel->user" % process.name,
+        )
+        process.charge_cpu(CpuDomain.KERNEL, seconds)
+        return seconds
+
+    def user_memcpy(self, process: Process, nbytes: int, label: str = "") -> float:
+        """Copy ``nbytes`` entirely within user space."""
+        seconds = self.cost_model.memcpy_time(nbytes)
+        self.ledger.charge(
+            CostCategory.MEMCPY,
+            seconds,
+            cpu_domain=CpuDomain.USER,
+            nbytes=nbytes,
+            copied=True,
+            label=label or "%s:memcpy" % process.name,
+        )
+        process.charge_cpu(CpuDomain.USER, seconds)
+        return seconds
+
+    def splice_pages(self, process: Process, nbytes: int, label: str = "") -> float:
+        """Gift/steal page references (vmsplice/splice) — no byte copy."""
+        seconds = self.cost_model.splice_time(nbytes)
+        self.ledger.charge(
+            CostCategory.SPLICE,
+            seconds,
+            cpu_domain=CpuDomain.KERNEL,
+            nbytes=nbytes,
+            copied=False,
+            label=label or "%s:splice" % process.name,
+        )
+        process.charge_cpu(CpuDomain.KERNEL, seconds)
+        return seconds
+
+    def kernel_buffer_memory(self, process: Process, payload: Payload, allocate: bool) -> None:
+        """Track kernel socket/pipe buffer memory against the process's meter."""
+        meter: MemoryMeter = process.cgroup.memory
+        if allocate:
+            meter.allocate(payload.size)
+        else:
+            meter.free(payload.size)

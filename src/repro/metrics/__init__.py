@@ -1,0 +1,28 @@
+"""Metrics: the latency / throughput / CPU / RAM measurements of the paper.
+
+:class:`~repro.metrics.records.TransferMetrics` captures one data transfer;
+:class:`~repro.metrics.records.LedgerWindow` measures it by snapshotting the
+cost ledger around the transfer; collectors aggregate repetitions and fan-out
+branches; the report module renders the tables the experiment harness prints.
+"""
+
+from repro.metrics.records import LedgerWindow, TransferMetrics
+from repro.metrics.collector import MetricsCollector, AggregateMetrics
+from repro.metrics.report import format_table, format_figure_result
+from repro.metrics.export import figure_to_csv, figure_to_dict, figure_to_json, write_figure
+from repro.metrics.timeline import export_chrome_trace, ledger_to_spans
+
+__all__ = [
+    "export_chrome_trace",
+    "ledger_to_spans",
+    "LedgerWindow",
+    "TransferMetrics",
+    "MetricsCollector",
+    "AggregateMetrics",
+    "format_table",
+    "format_figure_result",
+    "figure_to_csv",
+    "figure_to_dict",
+    "figure_to_json",
+    "write_figure",
+]

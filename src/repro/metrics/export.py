@@ -1,0 +1,68 @@
+"""Export figure results as CSV or JSON.
+
+The text tables are good for reading; these exporters make the regenerated
+series easy to plot or diff against the paper's data with external tools.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from typing import Any, Dict
+
+
+class ExportError(ValueError):
+    """Raised for malformed results."""
+
+
+def figure_to_dict(result) -> Dict[str, Any]:
+    """A plain-dict view of a FigureResult (JSON-serialisable)."""
+    return {
+        "figure": result.figure,
+        "title": result.title,
+        "x_label": result.x_label,
+        "x_values": list(result.x_values),
+        "panels": {
+            panel: {series: list(values) for series, values in series_map.items()}
+            for panel, series_map in result.panels.items()
+        },
+        "notes": result.notes,
+    }
+
+
+def figure_to_json(result, indent: int = 2) -> str:
+    """Serialise a FigureResult to JSON text."""
+    return json.dumps(figure_to_dict(result), indent=indent, sort_keys=True)
+
+
+def figure_to_csv(result) -> str:
+    """Serialise a FigureResult to long-form CSV (one row per data point)."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(["figure", "panel", "series", result.x_label, "value"])
+    for panel, series_map in sorted(result.panels.items()):
+        for series, values in sorted(series_map.items()):
+            if len(values) > len(result.x_values):
+                raise ExportError(
+                    "panel %r series %r has %d values for %d x positions"
+                    % (panel, series, len(values), len(result.x_values))
+                )
+            for x, value in zip(result.x_values, values):
+                writer.writerow([result.figure, panel, series, x, value])
+    return buffer.getvalue()
+
+
+def write_figure(result, path: str, fmt: str = "csv") -> str:
+    """Write a FigureResult to ``path`` in the requested format."""
+    if fmt == "csv":
+        content = figure_to_csv(result)
+    elif fmt == "json":
+        content = figure_to_json(result)
+    elif fmt == "txt":
+        content = result.to_text() + "\n"
+    else:
+        raise ExportError("unknown export format %r (use csv, json or txt)" % fmt)
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(content)
+    return path

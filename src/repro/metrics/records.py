@@ -1,0 +1,180 @@
+"""Transfer metrics and the ledger window used to measure them.
+
+The paper's latency metric is "the duration from when function a initiates
+the data transfer to when function b has successfully received the message"
+(Sec. 6.1).  A :class:`LedgerWindow` brackets exactly that interval on the
+cost ledger; the resulting :class:`TransferMetrics` carries the breakdown
+needed for every figure panel (total, serialization, Wasm VM I/O, CPU split,
+RAM, copies).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.sim.ledger import (
+    SERIALIZATION_CATEGORIES,
+    CostCategory,
+    CostLedger,
+    CpuDomain,
+)
+
+
+@dataclass(frozen=True)
+class TransferMetrics:
+    """Measurements for one logical data transfer (or one fan-out branch)."""
+
+    mode: str
+    payload_bytes: int
+    total_latency_s: float
+    serialization_s: float
+    wasm_io_s: float
+    transfer_s: float
+    cpu_user_s: float
+    cpu_kernel_s: float
+    copied_bytes: int
+    reference_bytes: int
+    syscalls: int
+    context_switches: int
+    peak_memory_mb: float
+    breakdown: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def cpu_total_s(self) -> float:
+        return self.cpu_user_s + self.cpu_kernel_s
+
+    @property
+    def throughput_rps(self) -> float:
+        """Requests per second, extrapolated from a single transfer (Sec. 6.1)."""
+        if self.total_latency_s <= 0:
+            return float("inf")
+        return 1.0 / self.total_latency_s
+
+    @property
+    def serialization_throughput_rps(self) -> float:
+        """Throughput considering only the serialization component."""
+        if self.serialization_s <= 0:
+            return float("inf")
+        return 1.0 / self.serialization_s
+
+    @property
+    def serialization_share(self) -> float:
+        """Fraction of total latency spent (de)serializing."""
+        if self.total_latency_s <= 0:
+            return 0.0
+        return self.serialization_s / self.total_latency_s
+
+    @property
+    def wasm_io_share(self) -> float:
+        if self.total_latency_s <= 0:
+            return 0.0
+        return self.wasm_io_s / self.total_latency_s
+
+    def cpu_percent(self, cores: int = 1) -> float:
+        if self.total_latency_s <= 0:
+            return 0.0
+        return 100.0 * self.cpu_total_s / (self.total_latency_s * cores)
+
+    def user_cpu_percent(self, cores: int = 1) -> float:
+        if self.total_latency_s <= 0:
+            return 0.0
+        return 100.0 * self.cpu_user_s / (self.total_latency_s * cores)
+
+    def kernel_cpu_percent(self, cores: int = 1) -> float:
+        if self.total_latency_s <= 0:
+            return 0.0
+        return 100.0 * self.cpu_kernel_s / (self.total_latency_s * cores)
+
+    def with_total_latency(self, total_latency_s: float) -> "TransferMetrics":
+        """A copy with an overridden total latency (fan-out makespans)."""
+        return TransferMetrics(
+            mode=self.mode,
+            payload_bytes=self.payload_bytes,
+            total_latency_s=total_latency_s,
+            serialization_s=self.serialization_s,
+            wasm_io_s=self.wasm_io_s,
+            transfer_s=self.transfer_s,
+            cpu_user_s=self.cpu_user_s,
+            cpu_kernel_s=self.cpu_kernel_s,
+            copied_bytes=self.copied_bytes,
+            reference_bytes=self.reference_bytes,
+            syscalls=self.syscalls,
+            context_switches=self.context_switches,
+            peak_memory_mb=self.peak_memory_mb,
+            breakdown=dict(self.breakdown),
+        )
+
+
+#: Categories counted as "transfer" (everything that moves bytes, minus
+#: serialization and Wasm VM I/O which the paper breaks out separately).
+_TRANSFER_CATEGORIES = (
+    CostCategory.TRANSFER,
+    CostCategory.MEMCPY,
+    CostCategory.SYSCALL,
+    CostCategory.CONTEXT_SWITCH,
+    CostCategory.IPC,
+    CostCategory.NETWORK,
+    CostCategory.SPLICE,
+    CostCategory.HTTP,
+)
+
+
+class LedgerWindow:
+    """Context manager measuring the ledger activity inside a ``with`` block."""
+
+    def __init__(self, ledger: CostLedger, mode: str, payload_bytes: int) -> None:
+        self.ledger = ledger
+        self.mode = mode
+        self.payload_bytes = payload_bytes
+        self._start_index = 0
+        self._start_time = 0.0
+        self._metrics: Optional[TransferMetrics] = None
+
+    def __enter__(self) -> "LedgerWindow":
+        self._start_index = len(self.ledger)
+        self._start_time = self.ledger.clock.now
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is not None:
+            return
+        self._metrics = self._build()
+
+    @property
+    def metrics(self) -> TransferMetrics:
+        if self._metrics is None:
+            raise RuntimeError("LedgerWindow metrics requested before the window closed")
+        return self._metrics
+
+    def _build(self) -> TransferMetrics:
+        charges = self.ledger.charges[self._start_index :]
+        total = self.ledger.clock.now - self._start_time
+        serialization = sum(c.seconds for c in charges if c.category in SERIALIZATION_CATEGORIES)
+        wasm_io = sum(c.seconds for c in charges if c.category is CostCategory.WASM_IO)
+        transfer = sum(c.seconds for c in charges if c.category in _TRANSFER_CATEGORIES)
+        cpu_user = sum(c.seconds for c in charges if c.cpu_domain is CpuDomain.USER)
+        cpu_kernel = sum(c.seconds for c in charges if c.cpu_domain is CpuDomain.KERNEL)
+        copied = sum(c.nbytes for c in charges if c.copied)
+        referenced = sum(c.nbytes for c in charges if not c.copied and c.nbytes)
+        syscalls = sum(c.units for c in charges if c.category is CostCategory.SYSCALL)
+        switches = sum(1 for c in charges if c.category is CostCategory.CONTEXT_SWITCH)
+        breakdown: Dict[str, float] = {}
+        for c in charges:
+            breakdown[c.category.value] = breakdown.get(c.category.value, 0.0) + c.seconds
+        return TransferMetrics(
+            mode=self.mode,
+            payload_bytes=self.payload_bytes,
+            total_latency_s=total,
+            serialization_s=serialization,
+            wasm_io_s=wasm_io,
+            transfer_s=transfer,
+            cpu_user_s=cpu_user,
+            cpu_kernel_s=cpu_kernel,
+            copied_bytes=copied,
+            reference_bytes=referenced,
+            syscalls=syscalls,
+            context_switches=switches,
+            peak_memory_mb=self.ledger.peak_memory_mb(),
+            breakdown=breakdown,
+        )

@@ -1,0 +1,73 @@
+"""Plain-text rendering of experiment results.
+
+The benchmark harness prints one table per figure with the same rows/series
+the paper reports; these helpers keep the formatting in one place so the
+tables stay consistent across figures.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Sequence, Union
+
+Number = Union[int, float]
+
+
+def _format_cell(value: object, precision: int = 4) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 0.001:
+            return "%.3e" % value
+        return ("%." + str(precision) + "g") % value
+    return str(value)
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]], title: str = "") -> str:
+    """Render a fixed-width table."""
+    materialized: List[List[str]] = [[_format_cell(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in materialized:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers))
+    lines.append(header_line)
+    lines.append("  ".join("-" * w for w in widths))
+    for row in materialized:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def format_figure_result(
+    title: str,
+    x_label: str,
+    x_values: Sequence[Number],
+    series: Mapping[str, Sequence[Number]],
+    unit: str = "",
+) -> str:
+    """Render one figure panel: x values down the rows, one column per series."""
+    headers = [x_label] + ["%s%s" % (name, " (%s)" % unit if unit else "") for name in series]
+    rows = []
+    for i, x in enumerate(x_values):
+        row: List[object] = [x]
+        for name in series:
+            values = series[name]
+            row.append(values[i] if i < len(values) else "")
+        rows.append(row)
+    return format_table(headers, rows, title=title)
+
+
+def improvement_percent(baseline: float, candidate: float) -> float:
+    """Relative improvement of ``candidate`` over ``baseline`` in percent."""
+    if baseline <= 0:
+        return 0.0
+    return 100.0 * (baseline - candidate) / baseline
+
+
+def speedup(baseline: float, candidate: float) -> float:
+    """How many times larger ``baseline`` is than ``candidate``."""
+    if candidate <= 0:
+        return float("inf")
+    return baseline / candidate

@@ -1,0 +1,89 @@
+"""Timeline export: turn ledger charges into an inspectable trace.
+
+The cost ledger already records every operation with a timestamp, category,
+duration and label; this module turns that into (a) a flat list of span
+dictionaries for programmatic inspection and (b) Chrome-trace JSON
+(``chrome://tracing`` / Perfetto "trace event" format), which is the easiest
+way to *see* where a transfer spends its time — serialization blocks for the
+baselines, wire time for everyone, thin splice slivers for Roadrunner.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional, Sequence
+
+from repro.sim.ledger import Charge, CostLedger
+
+
+class TimelineError(ValueError):
+    """Raised for invalid export requests."""
+
+
+def charges_to_spans(
+    charges: Sequence[Charge],
+    minimum_seconds: float = 0.0,
+) -> List[Dict[str, object]]:
+    """Flatten charges into span dictionaries (start, duration, category, label)."""
+    if minimum_seconds < 0:
+        raise TimelineError("minimum_seconds must be non-negative")
+    spans: List[Dict[str, object]] = []
+    for charge in charges:
+        if charge.seconds < minimum_seconds:
+            continue
+        spans.append(
+            {
+                "start_s": charge.timestamp,
+                "duration_s": charge.seconds,
+                "category": charge.category.value,
+                "cpu_domain": charge.cpu_domain.value,
+                "label": charge.label,
+                "bytes": charge.nbytes,
+                "copied": charge.copied,
+                "units": charge.units,
+            }
+        )
+    return spans
+
+
+def ledger_to_spans(ledger: CostLedger, minimum_seconds: float = 0.0) -> List[Dict[str, object]]:
+    """Spans for every charge recorded on ``ledger``."""
+    return charges_to_spans(ledger.charges, minimum_seconds=minimum_seconds)
+
+
+def spans_to_chrome_trace(spans: Sequence[Dict[str, object]], process_name: str = "repro") -> str:
+    """Serialise spans as Chrome trace-event JSON (complete events, "X" phase)."""
+    events: List[Dict[str, object]] = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": 1,
+            "args": {"name": process_name},
+        }
+    ]
+    for span in spans:
+        events.append(
+            {
+                "name": span.get("label") or span["category"],
+                "cat": span["category"],
+                "ph": "X",
+                "pid": 1,
+                "tid": 1 if span.get("cpu_domain") == "user" else 2,
+                "ts": float(span["start_s"]) * 1e6,   # microseconds
+                "dur": max(float(span["duration_s"]) * 1e6, 0.01),
+                "args": {
+                    "bytes": span.get("bytes", 0),
+                    "copied": span.get("copied", False),
+                },
+            }
+        )
+    return json.dumps({"traceEvents": events, "displayTimeUnit": "ms"}, indent=2)
+
+
+def export_chrome_trace(ledger: CostLedger, path: str, minimum_seconds: float = 0.0) -> str:
+    """Write the ledger's timeline to ``path`` as Chrome-trace JSON."""
+    spans = ledger_to_spans(ledger, minimum_seconds=minimum_seconds)
+    content = spans_to_chrome_trace(spans, process_name=ledger.name or "repro")
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(content)
+    return path

@@ -1,0 +1,24 @@
+"""Network substrate: links, NICs, topology and an HTTP transport.
+
+The paper's testbed is two VMs connected by a traffic-shaped link (Sec. 6.2).
+Here a :class:`~repro.net.link.NetworkLink` turns byte counts into wire time
+from bandwidth and RTT, :class:`~repro.net.nic.Nic` accounts per-packet work,
+:class:`~repro.net.topology.Topology` wires nodes together, and
+:class:`~repro.net.http.HttpTransport` models the request/response exchange
+(headers, per-request overhead, kernel copies) used by the RunC and WasmEdge
+baselines.
+"""
+
+from repro.net.link import LoopbackLink, NetworkLink
+from repro.net.nic import Nic
+from repro.net.topology import Topology
+from repro.net.http import HttpTransport, HttpResponse
+
+__all__ = [
+    "LoopbackLink",
+    "NetworkLink",
+    "Nic",
+    "Topology",
+    "HttpTransport",
+    "HttpResponse",
+]

@@ -1,0 +1,98 @@
+"""The cluster: nodes plus the links between them, sharing one ledger.
+
+Experiments create a cluster in one of two shapes: a single node (intra-node
+experiments) or the paper's edge-cloud pair (inter-node experiments).  All
+nodes charge the same ledger so one simulated timeline covers the whole
+transfer, while CPU and memory remain attributed per sandbox via cgroups.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.net.link import NetworkLink
+from repro.net.topology import Topology
+from repro.platform.node import ClusterNode
+from repro.sim.costs import CostModel, DEFAULT_COST_MODEL
+from repro.sim.ledger import CostLedger
+
+
+class ClusterError(RuntimeError):
+    """Raised for unknown nodes."""
+
+
+class Cluster:
+    """A set of nodes and the topology connecting them."""
+
+    def __init__(
+        self,
+        cost_model: CostModel = DEFAULT_COST_MODEL,
+        ledger: Optional[CostLedger] = None,
+    ) -> None:
+        self.cost_model = cost_model
+        self.ledger = ledger if ledger is not None else CostLedger(name="cluster")
+        self.topology = Topology(cost_model)
+        self._nodes: Dict[str, ClusterNode] = {}
+
+    def add_node(self, name: str, cores: Optional[int] = None) -> ClusterNode:
+        if name in self._nodes:
+            raise ClusterError("node %r already exists" % name)
+        self.topology.add_node(name)
+        node = ClusterNode(name=name, ledger=self.ledger, cost_model=self.cost_model, cores=cores)
+        self._nodes[name] = node
+        return node
+
+    def connect(
+        self,
+        a: str,
+        b: str,
+        bandwidth: Optional[float] = None,
+        rtt: Optional[float] = None,
+    ) -> NetworkLink:
+        return self.topology.connect(a, b, bandwidth=bandwidth, rtt=rtt)
+
+    def node(self, name: str) -> ClusterNode:
+        if name not in self._nodes:
+            raise ClusterError("unknown node %r" % name)
+        return self._nodes[name]
+
+    @property
+    def nodes(self) -> Dict[str, ClusterNode]:
+        return dict(self._nodes)
+
+    def link_between(self, a: str, b: str) -> NetworkLink:
+        return self.topology.link_between(a, b)
+
+    def colocated(self, a: str, b: str) -> bool:
+        return self.topology.colocated(a, b)
+
+    # -- canonical shapes -----------------------------------------------------------
+
+    @classmethod
+    def single_node(
+        cls,
+        cost_model: CostModel = DEFAULT_COST_MODEL,
+        ledger: Optional[CostLedger] = None,
+        name: str = "node-a",
+    ) -> "Cluster":
+        """One node: the intra-node experiments (Figs. 7 and 9)."""
+        cluster = cls(cost_model=cost_model, ledger=ledger)
+        cluster.add_node(name)
+        return cluster
+
+    @classmethod
+    def edge_cloud_pair(
+        cls,
+        cost_model: CostModel = DEFAULT_COST_MODEL,
+        ledger: Optional[CostLedger] = None,
+        edge: str = "edge",
+        cloud: str = "cloud",
+        bandwidth: Optional[float] = None,
+        rtt: Optional[float] = None,
+    ) -> "Cluster":
+        """Two nodes joined by a shaped link (Figs. 6, 8 and 10)."""
+        cluster = cls(cost_model=cost_model, ledger=ledger)
+        cluster.add_node(edge)
+        cluster.add_node(cloud)
+        cluster.connect(edge, cloud, bandwidth=bandwidth, rtt=rtt)
+        return cluster

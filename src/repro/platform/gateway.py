@@ -1,0 +1,137 @@
+"""Platform ingress: how clients reach short-lived serverless functions.
+
+"Since serverless functions are short-lived by design, a single function
+cannot be directly addressed.  Therefore, clients rely on the platform
+ingress and Load Balancers to access the serverless function" (Sec. 1).  The
+gateway models that front door: it keeps a pool of replicas per function,
+routes each client request to one of them (round-robin or least-loaded),
+scales from zero by paying the runtime's cold-start cost, and charges the
+ingress routing overhead per request.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.platform.deployment import DeployedFunction
+from repro.platform.function import FunctionSpec
+from repro.platform.orchestrator import Orchestrator
+from repro.sim.ledger import CostCategory, CpuDomain
+
+
+class GatewayError(RuntimeError):
+    """Raised for unknown functions or invalid routing policies."""
+
+
+class RoutingPolicy(enum.Enum):
+    """How the load balancer spreads requests over replicas."""
+
+    ROUND_ROBIN = "round_robin"
+    LEAST_LOADED = "least_loaded"
+
+
+#: Fixed per-request ingress cost (routing table lookup, connection handling).
+INGRESS_OVERHEAD_S = 250.0e-6
+
+
+@dataclass
+class _ReplicaState:
+    deployed: DeployedFunction
+    in_flight: int = 0
+    served: int = 0
+
+
+class IngressGateway:
+    """The platform's ingress / load-balancer pair."""
+
+    def __init__(
+        self,
+        orchestrator: Orchestrator,
+        policy: RoutingPolicy = RoutingPolicy.ROUND_ROBIN,
+    ) -> None:
+        self.orchestrator = orchestrator
+        self.policy = policy
+        self._pools: Dict[str, List[_ReplicaState]] = {}
+        self._round_robin_cursor: Dict[str, int] = {}
+        self.requests_routed = 0
+
+    # -- pool management ----------------------------------------------------------
+
+    def register(self, spec: FunctionSpec, replicas: int = 1, node_name: Optional[str] = None,
+                 share_vm_key: Optional[str] = None, charge_cold_start: bool = True) -> List[DeployedFunction]:
+        """Deploy ``replicas`` instances of ``spec`` and add them to the pool.
+
+        Scale-from-zero is modelled by charging each replica's cold start at
+        registration time (the paper's Fig. 2a costs).
+        """
+        if replicas < 1:
+            raise GatewayError("replicas must be >= 1")
+        nodes = list(self.orchestrator.cluster.nodes)
+        if node_name is not None and node_name not in nodes:
+            raise GatewayError("unknown node %r" % node_name)
+        pool = self._pools.setdefault(spec.name, [])
+        deployed_replicas: List[DeployedFunction] = []
+        for index in range(replicas):
+            replica_spec = spec.renamed("%s-r%d" % (spec.name, len(pool) + index))
+            target_node = node_name or nodes[(len(pool) + index) % len(nodes)]
+            deployed = self.orchestrator.deploy(
+                replica_spec,
+                target_node,
+                share_vm_key=share_vm_key,
+                materialize=True,
+                charge_cold_start=charge_cold_start,
+            )
+            deployed_replicas.append(deployed)
+        pool.extend(_ReplicaState(deployed=replica) for replica in deployed_replicas)
+        self._round_robin_cursor.setdefault(spec.name, 0)
+        return deployed_replicas
+
+    def replicas(self, function: str) -> List[DeployedFunction]:
+        return [state.deployed for state in self._require_pool(function)]
+
+    def scale_to(self, spec: FunctionSpec, replicas: int) -> None:
+        """Grow the pool to ``replicas`` instances (no scale-down modelled)."""
+        current = len(self._pools.get(spec.name, []))
+        if replicas > current:
+            self.register(spec, replicas=replicas - current)
+
+    # -- routing --------------------------------------------------------------------
+
+    def route(self, function: str) -> DeployedFunction:
+        """Pick a replica for one request and charge the ingress overhead."""
+        pool = self._require_pool(function)
+        if self.policy is RoutingPolicy.ROUND_ROBIN:
+            cursor = self._round_robin_cursor[function]
+            state = pool[cursor % len(pool)]
+            self._round_robin_cursor[function] = cursor + 1
+        else:
+            state = min(pool, key=lambda replica: replica.in_flight)
+        state.in_flight += 1
+        state.served += 1
+        self.requests_routed += 1
+        ledger = self.orchestrator.cluster.ledger
+        ledger.charge(
+            CostCategory.HTTP,
+            INGRESS_OVERHEAD_S,
+            cpu_domain=CpuDomain.USER,
+            label="ingress:%s" % function,
+        )
+        return state.deployed
+
+    def release(self, function: str, deployed: DeployedFunction) -> None:
+        """Mark a routed request as finished (load-balancer bookkeeping)."""
+        for state in self._require_pool(function):
+            if state.deployed is deployed:
+                state.in_flight = max(0, state.in_flight - 1)
+                return
+        raise GatewayError("replica %r does not belong to function %r" % (deployed.name, function))
+
+    def served_per_replica(self, function: str) -> Dict[str, int]:
+        return {state.deployed.name: state.served for state in self._require_pool(function)}
+
+    def _require_pool(self, function: str) -> List[_ReplicaState]:
+        if function not in self._pools or not self._pools[function]:
+            raise GatewayError("function %r has no registered replicas" % function)
+        return self._pools[function]

@@ -1,0 +1,26 @@
+"""Simulation substrate: clock, calibrated cost model and cost ledger.
+
+Every other substrate (Wasm VM, kernel, network, container runtime) charges
+the time, CPU and memory consequences of its operations to a
+:class:`~repro.sim.ledger.CostLedger` using rates from a
+:class:`~repro.sim.costs.CostModel`.  The experiment harness reads the ledger
+to produce the latency / throughput / CPU / RAM series reported in the paper.
+"""
+
+from repro.sim.clock import SimClock
+from repro.sim.costs import CostModel
+from repro.sim.ledger import Charge, CostCategory, CostLedger, CpuDomain, MemoryMeter
+from repro.sim.engine import Event, EventLoop, ParallelTracks
+
+__all__ = [
+    "SimClock",
+    "CostModel",
+    "Charge",
+    "CostCategory",
+    "CostLedger",
+    "CpuDomain",
+    "MemoryMeter",
+    "Event",
+    "EventLoop",
+    "ParallelTracks",
+]

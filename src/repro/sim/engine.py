@@ -1,0 +1,180 @@
+"""A small discrete-event loop plus a parallel-track makespan helper.
+
+Most of the reproduction is sequential accounting on a shared ledger, but two
+places need genuine concurrency semantics:
+
+* the fan-out experiments (Figs. 9 and 10), where one source function feeds
+  N targets and the runtimes differ in how much of that work can overlap;
+* the network link, where transmissions from different connections share
+  bandwidth.
+
+:class:`EventLoop` is a classic time-ordered event queue.  For fan-out we use
+the simpler :class:`ParallelTracks` helper, which computes the makespan of N
+per-branch duration profiles under a bounded concurrency model — this mirrors
+how a 4-core node executes N sandboxes, or how a single-threaded Wasm VM
+serialises all branches.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence, Tuple
+
+
+class EngineError(RuntimeError):
+    """Raised for scheduling errors (e.g. events in the past)."""
+
+
+@dataclass(order=True)
+class Event:
+    """An event scheduled at an absolute simulated time."""
+
+    time: float
+    order: int
+    action: Callable[[], None] = field(compare=False)
+    label: str = field(default="", compare=False)
+
+
+class EventLoop:
+    """Minimal discrete-event simulator.
+
+    Events are executed in non-decreasing time order; ties break by insertion
+    order so behaviour is deterministic.
+    """
+
+    def __init__(self) -> None:
+        self._queue: List[Event] = []
+        self._counter = itertools.count()
+        self._now = 0.0
+        self._executed = 0
+
+    @property
+    def now(self) -> float:
+        return self._now
+
+    @property
+    def executed_events(self) -> int:
+        return self._executed
+
+    def schedule(self, delay: float, action: Callable[[], None], label: str = "") -> Event:
+        """Schedule ``action`` to run ``delay`` seconds from the current time."""
+        if delay < 0:
+            raise EngineError("cannot schedule an event in the past (delay=%r)" % delay)
+        event = Event(time=self._now + delay, order=next(self._counter), action=action, label=label)
+        heapq.heappush(self._queue, event)
+        return event
+
+    def schedule_at(self, time: float, action: Callable[[], None], label: str = "") -> Event:
+        """Schedule ``action`` at absolute time ``time``."""
+        if time < self._now:
+            raise EngineError(
+                "cannot schedule an event at t=%r before now=%r" % (time, self._now)
+            )
+        event = Event(time=time, order=next(self._counter), action=action, label=label)
+        heapq.heappush(self._queue, event)
+        return event
+
+    def run(self, until: Optional[float] = None) -> float:
+        """Run events until the queue drains or ``until`` is reached.
+
+        Returns the simulated time after the run.
+        """
+        while self._queue:
+            if until is not None and self._queue[0].time > until:
+                self._now = until
+                return self._now
+            event = heapq.heappop(self._queue)
+            self._now = event.time
+            event.action()
+            self._executed += 1
+        if until is not None and until > self._now:
+            self._now = until
+        return self._now
+
+    def step(self) -> Optional[Event]:
+        """Execute exactly one event; return it (or None if the queue is empty)."""
+        if not self._queue:
+            return None
+        event = heapq.heappop(self._queue)
+        self._now = event.time
+        event.action()
+        self._executed += 1
+        return event
+
+    def pending(self) -> int:
+        return len(self._queue)
+
+
+class ParallelTracks:
+    """Makespan of N independent duration tracks under bounded concurrency.
+
+    Each track is a pair ``(cpu_seconds, wait_seconds)``:
+
+    * ``cpu_seconds`` competes for the ``workers`` available execution slots
+      (cores, or 1 for a single-threaded Wasm VM);
+    * ``wait_seconds`` is pure waiting (wire time, kernel DMA) that overlaps
+      freely across tracks.
+
+    The model is a conservative list-scheduling bound: CPU work is spread
+    over the workers (longest-processing-time order) and each track's wait
+    extends its own finish time.
+    """
+
+    def __init__(self, workers: int = 1) -> None:
+        if workers < 1:
+            raise EngineError("workers must be >= 1, got %r" % workers)
+        self.workers = workers
+        self._tracks: List[Tuple[float, float]] = []
+
+    def add(self, cpu_seconds: float, wait_seconds: float = 0.0) -> None:
+        if cpu_seconds < 0 or wait_seconds < 0:
+            raise EngineError("track durations must be non-negative")
+        self._tracks.append((cpu_seconds, wait_seconds))
+
+    def extend(self, tracks: Sequence[Tuple[float, float]]) -> None:
+        for cpu, wait in tracks:
+            self.add(cpu, wait)
+
+    @property
+    def tracks(self) -> Tuple[Tuple[float, float], ...]:
+        return tuple(self._tracks)
+
+    def completion_times(self) -> List[float]:
+        """Per-track completion times under list scheduling.
+
+        Tracks are scheduled longest-first onto the earliest-available worker;
+        a track's completion time is when its CPU slice finishes plus its own
+        wait.  The list is returned in scheduling order.
+        """
+        if not self._tracks:
+            return []
+        ordered = sorted(self._tracks, key=lambda t: t[0] + t[1], reverse=True)
+        worker_busy = [0.0] * self.workers
+        completions: List[float] = []
+        for cpu, wait in ordered:
+            # Assign to the earliest-available worker.
+            idx = min(range(self.workers), key=worker_busy.__getitem__)
+            start = worker_busy[idx]
+            worker_busy[idx] = start + cpu
+            completions.append(start + cpu + wait)
+        return completions
+
+    def makespan(self) -> float:
+        """Finish time of the last track under list scheduling."""
+        completions = self.completion_times()
+        return max(completions) if completions else 0.0
+
+    def mean_completion(self) -> float:
+        """Mean per-track completion time (the per-request latency a client sees)."""
+        completions = self.completion_times()
+        if not completions:
+            return 0.0
+        return sum(completions) / len(completions)
+
+    def total_cpu_seconds(self) -> float:
+        return sum(cpu for cpu, _ in self._tracks)
+
+    def total_wait_seconds(self) -> float:
+        return sum(wait for _, wait in self._tracks)

@@ -1,0 +1,301 @@
+"""Cost ledger: the single place where simulated time, CPU and memory accrue.
+
+Every substrate operation (a memcpy, a syscall, a serialization pass, a wire
+transfer) records a :class:`Charge`.  The experiment harness then derives the
+paper's metrics from the ledger:
+
+* total latency           -> sum of wall-time charges,
+* serialization latency   -> charges in the SERIALIZATION/DESERIALIZATION categories,
+* Wasm VM I/O             -> charges in the WASM_IO category,
+* CPU usage (user/kernel) -> CPU-seconds per :class:`CpuDomain`,
+* RAM                     -> peak of the attached :class:`MemoryMeter`,
+* copies                  -> bytes copied vs bytes moved by reference.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+
+from repro.sim.clock import SimClock
+
+
+class CostCategory(enum.Enum):
+    """What kind of work a charge represents (the paper's breakdown axes)."""
+
+    SERIALIZATION = "serialization"
+    DESERIALIZATION = "deserialization"
+    TRANSFER = "transfer"
+    WASM_IO = "wasm_io"
+    MEMCPY = "memcpy"
+    SYSCALL = "syscall"
+    CONTEXT_SWITCH = "context_switch"
+    IPC = "ipc"
+    NETWORK = "network"
+    SPLICE = "splice"
+    HTTP = "http"
+    COLD_START = "cold_start"
+    COMPUTE = "compute"
+    OTHER = "other"
+
+
+#: Categories counted as "serialization overhead" in the paper's plots.
+SERIALIZATION_CATEGORIES = (CostCategory.SERIALIZATION, CostCategory.DESERIALIZATION)
+
+
+class CpuDomain(enum.Enum):
+    """Where CPU time is spent, mirroring cgroup user/system accounting."""
+
+    USER = "user"
+    KERNEL = "kernel"
+    #: Work that consumes wall time but no local CPU (e.g. wire propagation).
+    NONE = "none"
+
+
+class LedgerError(ValueError):
+    """Raised for invalid charges."""
+
+
+@dataclass(frozen=True)
+class Charge:
+    """A single accounted operation."""
+
+    category: CostCategory
+    seconds: float
+    cpu_domain: CpuDomain = CpuDomain.USER
+    nbytes: int = 0
+    copied: bool = False
+    label: str = ""
+    timestamp: float = 0.0
+    #: How many underlying operations this charge batches (e.g. syscalls).
+    units: int = 1
+
+    def __post_init__(self) -> None:
+        if self.seconds < 0:
+            raise LedgerError("charge duration must be non-negative, got %r" % self.seconds)
+        if self.nbytes < 0:
+            raise LedgerError("charge nbytes must be non-negative, got %r" % self.nbytes)
+        if self.units < 1:
+            raise LedgerError("charge units must be >= 1, got %r" % self.units)
+
+
+class MemoryMeter:
+    """Tracks resident memory of one sandbox (container or Wasm VM).
+
+    The meter follows a simple high-watermark model: allocations raise the
+    current level, frees lower it, and ``peak_bytes`` records the maximum.
+    """
+
+    def __init__(self, baseline_bytes: int = 0, name: str = "") -> None:
+        if baseline_bytes < 0:
+            raise LedgerError("baseline_bytes must be non-negative")
+        self.name = name
+        self._baseline = int(baseline_bytes)
+        self._current = int(baseline_bytes)
+        self._peak = int(baseline_bytes)
+
+    @property
+    def current_bytes(self) -> int:
+        return self._current
+
+    @property
+    def peak_bytes(self) -> int:
+        return self._peak
+
+    @property
+    def peak_mb(self) -> float:
+        return self._peak / (1024.0 * 1024.0)
+
+    def allocate(self, nbytes: int) -> None:
+        if nbytes < 0:
+            raise LedgerError("cannot allocate a negative amount")
+        self._current += nbytes
+        if self._current > self._peak:
+            self._peak = self._current
+
+    def free(self, nbytes: int) -> None:
+        if nbytes < 0:
+            raise LedgerError("cannot free a negative amount")
+        self._current = max(self._baseline, self._current - nbytes)
+
+    def reset(self) -> None:
+        self._current = self._baseline
+        self._peak = self._baseline
+
+
+class CostLedger:
+    """Accumulates charges and advances an optional simulated clock.
+
+    Parameters
+    ----------
+    clock:
+        Shared simulated clock; wall-time charges advance it.  When omitted a
+        private clock is created.
+    """
+
+    def __init__(self, clock: Optional[SimClock] = None, name: str = "") -> None:
+        self.name = name
+        self.clock = clock if clock is not None else SimClock()
+        self._charges: List[Charge] = []
+        self._meters: Dict[str, MemoryMeter] = {}
+        self._copied_bytes = 0
+        self._reference_bytes = 0
+        self._syscalls = 0
+        self._context_switches = 0
+
+    # -- recording -------------------------------------------------------------
+
+    def charge(
+        self,
+        category: CostCategory,
+        seconds: float,
+        *,
+        cpu_domain: CpuDomain = CpuDomain.USER,
+        nbytes: int = 0,
+        copied: bool = False,
+        label: str = "",
+        wall_time: bool = True,
+        units: int = 1,
+    ) -> Charge:
+        """Record one operation.
+
+        ``wall_time=False`` records CPU/byte accounting without advancing the
+        clock — used for work that overlaps another already-charged wait (for
+        example the receiver-side copy that proceeds while the wire is busy).
+        ``units`` records how many underlying operations the charge batches
+        (e.g. chunked syscalls).
+        """
+        entry = Charge(
+            category=category,
+            seconds=seconds,
+            cpu_domain=cpu_domain,
+            nbytes=nbytes,
+            copied=copied,
+            label=label,
+            timestamp=self.clock.now,
+            units=units,
+        )
+        self._charges.append(entry)
+        if wall_time and seconds:
+            self.clock.advance(seconds)
+        if nbytes:
+            if copied:
+                self._copied_bytes += nbytes
+            else:
+                self._reference_bytes += nbytes
+        if category is CostCategory.SYSCALL:
+            self._syscalls += units
+        if category is CostCategory.CONTEXT_SWITCH:
+            self._context_switches += 1
+        return entry
+
+    def count_syscalls(self, count: int) -> None:
+        """Record additional syscalls batched into a single charge."""
+        if count < 0:
+            raise LedgerError("syscall count must be non-negative")
+        self._syscalls += count
+
+    def meter(self, name: str, baseline_bytes: int = 0) -> MemoryMeter:
+        """Return (creating if needed) the memory meter for a sandbox."""
+        if name not in self._meters:
+            self._meters[name] = MemoryMeter(baseline_bytes=baseline_bytes, name=name)
+        return self._meters[name]
+
+    # -- queries -----------------------------------------------------------------
+
+    @property
+    def charges(self) -> Tuple[Charge, ...]:
+        return tuple(self._charges)
+
+    def __iter__(self) -> Iterator[Charge]:
+        return iter(self._charges)
+
+    def __len__(self) -> int:
+        return len(self._charges)
+
+    def total_seconds(self) -> float:
+        """Total simulated wall time of all charges."""
+        return sum(c.seconds for c in self._charges)
+
+    def seconds(self, *categories: CostCategory) -> float:
+        wanted = set(categories)
+        return sum(c.seconds for c in self._charges if c.category in wanted)
+
+    def serialization_seconds(self) -> float:
+        return self.seconds(*SERIALIZATION_CATEGORIES)
+
+    def cpu_seconds(self, domain: Optional[CpuDomain] = None) -> float:
+        if domain is None:
+            return sum(
+                c.seconds for c in self._charges if c.cpu_domain is not CpuDomain.NONE
+            )
+        return sum(c.seconds for c in self._charges if c.cpu_domain is domain)
+
+    @property
+    def copied_bytes(self) -> int:
+        """Bytes that were physically copied."""
+        return self._copied_bytes
+
+    @property
+    def reference_bytes(self) -> int:
+        """Bytes moved by reference (zero-copy paths)."""
+        return self._reference_bytes
+
+    @property
+    def syscalls(self) -> int:
+        return self._syscalls
+
+    @property
+    def context_switches(self) -> int:
+        return self._context_switches
+
+    def peak_memory_bytes(self) -> int:
+        """Sum of per-sandbox memory peaks."""
+        return sum(m.peak_bytes for m in self._meters.values())
+
+    def peak_memory_mb(self) -> float:
+        return self.peak_memory_bytes() / (1024.0 * 1024.0)
+
+    def meters(self) -> Dict[str, MemoryMeter]:
+        return dict(self._meters)
+
+    def breakdown(self) -> Dict[str, float]:
+        """Seconds per category name (stable keys for reports)."""
+        out: Dict[str, float] = {}
+        for c in self._charges:
+            out[c.category.value] = out.get(c.category.value, 0.0) + c.seconds
+        return out
+
+    def merge(self, other: "CostLedger") -> None:
+        """Fold another ledger's charges into this one (no clock interaction)."""
+        for c in other.charges:
+            self._charges.append(c)
+            if c.nbytes:
+                if c.copied:
+                    self._copied_bytes += c.nbytes
+                else:
+                    self._reference_bytes += c.nbytes
+            if c.category is CostCategory.SYSCALL:
+                self._syscalls += 1
+            if c.category is CostCategory.CONTEXT_SWITCH:
+                self._context_switches += 1
+        for name, meter in other.meters().items():
+            mine = self.meter(name)
+            mine.allocate(meter.peak_bytes)
+
+    def reset(self) -> None:
+        self._charges.clear()
+        self._meters.clear()
+        self._copied_bytes = 0
+        self._reference_bytes = 0
+        self._syscalls = 0
+        self._context_switches = 0
+        self.clock.reset()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "CostLedger(name=%r, charges=%d, total=%.6fs)" % (
+            self.name,
+            len(self._charges),
+            self.total_seconds(),
+        )

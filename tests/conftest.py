@@ -1,0 +1,111 @@
+"""Shared fixtures for the test suite.
+
+Functional tests use real payloads (bytes materialised in linear memory) so
+integrity can be asserted end to end; the fixtures here assemble the small
+clusters and deployments those tests need.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.payload import Payload
+from repro.platform.cluster import Cluster
+from repro.platform.function import FunctionSpec
+from repro.platform.orchestrator import Orchestrator
+from repro.sim.costs import CostModel
+from repro.sim.ledger import CostLedger
+from repro.wasm.runtime import RuntimeKind
+
+
+@pytest.fixture
+def cost_model() -> CostModel:
+    return CostModel.paper_testbed()
+
+
+@pytest.fixture
+def ledger() -> CostLedger:
+    return CostLedger(name="test")
+
+
+@pytest.fixture
+def small_payload() -> Payload:
+    return Payload.random(64 * 1024, seed=7)
+
+
+@pytest.fixture
+def text_payload() -> Payload:
+    return Payload.from_text("sensor reading batch " * 200)
+
+
+def make_wasm_specs(workflow: str = "wf", tenant: str = "t1"):
+    """Two Roadrunner-capable Wasm function specs (a chained pair)."""
+    return [
+        FunctionSpec("fn-a", runtime=RuntimeKind.ROADRUNNER, workflow=workflow, tenant=tenant),
+        FunctionSpec("fn-b", runtime=RuntimeKind.ROADRUNNER, workflow=workflow, tenant=tenant),
+    ]
+
+
+def make_container_specs(workflow: str = "wf"):
+    return [
+        FunctionSpec("fn-a", runtime=RuntimeKind.RUNC, requires_wasi=False, workflow=workflow),
+        FunctionSpec("fn-b", runtime=RuntimeKind.RUNC, requires_wasi=False, workflow=workflow),
+    ]
+
+
+def make_wasmedge_specs(workflow: str = "wf"):
+    return [
+        FunctionSpec("fn-a", runtime=RuntimeKind.WASMEDGE, workflow=workflow),
+        FunctionSpec("fn-b", runtime=RuntimeKind.WASMEDGE, workflow=workflow),
+    ]
+
+
+@pytest.fixture
+def shared_vm_pair():
+    """Two Wasm functions colocated in one VM on a single node (user-space mode)."""
+    cluster = Cluster.single_node()
+    orchestrator = Orchestrator(cluster)
+    deployments = orchestrator.deploy_all(
+        make_wasm_specs(), share_vm_key="shared", materialize=True
+    )
+    return cluster, orchestrator, deployments
+
+
+@pytest.fixture
+def separate_vm_pair():
+    """Two Wasm functions in separate VMs on one node (kernel-space mode)."""
+    cluster = Cluster.single_node()
+    orchestrator = Orchestrator(cluster)
+    deployments = orchestrator.deploy_all(make_wasm_specs(), materialize=True)
+    return cluster, orchestrator, deployments
+
+
+@pytest.fixture
+def remote_vm_pair():
+    """Two Wasm functions on different nodes (network mode)."""
+    cluster = Cluster.edge_cloud_pair()
+    orchestrator = Orchestrator(cluster)
+    deployments = orchestrator.deploy_all(
+        make_wasm_specs(),
+        placement={"fn-a": "edge", "fn-b": "cloud"},
+        materialize=True,
+    )
+    return cluster, orchestrator, deployments
+
+
+@pytest.fixture
+def container_pair():
+    """Two RunC containers on one node (RunC HTTP baseline)."""
+    cluster = Cluster.single_node()
+    orchestrator = Orchestrator(cluster)
+    deployments = orchestrator.deploy_all(make_container_specs(), materialize=True)
+    return cluster, orchestrator, deployments
+
+
+@pytest.fixture
+def wasmedge_pair():
+    """Two WasmEdge functions in separate VMs on one node (WasmEdge baseline)."""
+    cluster = Cluster.single_node()
+    orchestrator = Orchestrator(cluster)
+    deployments = orchestrator.deploy_all(make_wasmedge_specs(), materialize=True)
+    return cluster, orchestrator, deployments

@@ -1,0 +1,129 @@
+"""Unit tests for images, OCI bundles, the RunC runtime and containerd."""
+
+import pytest
+
+from repro.container.containerd import Containerd, ContainerdError
+from repro.container.image import ContainerImage, ImageError, WasmImage
+from repro.container.oci import OciBundle, OciError, OciRuntimeSpec
+from repro.container.runc import RunCError, RunCRuntime
+from repro.kernel.kernel import Kernel
+from repro.sim.costs import CostModel
+from repro.sim.ledger import CostCategory, CostLedger
+
+
+@pytest.fixture
+def runc():
+    ledger = CostLedger()
+    kernel = Kernel(ledger=ledger, node_name="node-a")
+    return RunCRuntime(kernel=kernel, ledger=ledger, cost_model=CostModel.paper_testbed())
+
+
+def test_image_presets_match_paper_sizes():
+    assert ContainerImage.hello_world().size_bytes == pytest.approx(76.9 * 1024 * 1024, rel=0.01)
+    assert WasmImage.hello_world().size_bytes == 47_800
+    assert WasmImage.resize_image().size_bytes == pytest.approx(3.19 * 1024 * 1024, rel=0.01)
+
+
+def test_image_validation():
+    with pytest.raises(ImageError):
+        ContainerImage(name="", size_bytes=1)
+    with pytest.raises(ImageError):
+        ContainerImage(name="x", size_bytes=0)
+    with pytest.raises(ImageError):
+        WasmImage(name="x", size_bytes=-1)
+
+
+def test_oci_spec_and_bundle_validation():
+    with pytest.raises(OciError):
+        OciRuntimeSpec(memory_limit_bytes=0)
+    with pytest.raises(OciError):
+        OciRuntimeSpec(cpu_quota_cores=0)
+    with pytest.raises(OciError):
+        OciBundle(name="", image=ContainerImage.hello_world())
+    bundle = OciBundle(
+        name="fn",
+        image=WasmImage.hello_world(),
+        runtime_class="roadrunner-shim",
+        annotations=(("workflow", "wf-1"),),
+    )
+    assert bundle.is_wasm
+    assert bundle.annotation("workflow") == "wf-1"
+    assert bundle.annotation("missing", "default") == "default"
+
+
+def test_runc_cold_start_scales_with_image_size(runc):
+    small = ContainerImage(name="small", size_bytes=10 * 1024 * 1024)
+    assert runc.cold_start_time(ContainerImage.hello_world()) > runc.cold_start_time(small)
+
+
+def test_runc_creates_sandbox_with_cgroup(runc):
+    bundle = OciBundle(name="fn-a", image=ContainerImage.hello_world())
+    sandbox = runc.create(bundle, charge_cold_start=True)
+    assert sandbox.running
+    assert sandbox.cgroup.memory.peak_bytes > 0
+    assert runc.ledger.seconds(CostCategory.COLD_START) > 0
+    sandbox.stop()
+    assert not sandbox.running
+    with pytest.raises(RunCError):
+        sandbox.stop()
+
+
+def test_runc_refuses_wasm_bundles(runc):
+    bundle = OciBundle(name="fn-wasm", image=WasmImage.hello_world())
+    with pytest.raises(OciError):
+        runc.create(bundle)
+
+
+def test_containerd_dispatches_by_runtime_class(runc):
+    containerd = Containerd(runc)
+    created = []
+    containerd.register_shim("roadrunner-shim", lambda bundle: created.append(bundle.name) or "shim")
+    runc_handle = containerd.start(OciBundle(name="native", image=ContainerImage.hello_world()))
+    shim_handle = containerd.start(
+        OciBundle(name="wasm-fn", image=WasmImage.hello_world(), runtime_class="roadrunner-shim")
+    )
+    assert runc_handle.runtime_class == "runc"
+    assert shim_handle.sandbox == "shim"
+    assert created == ["wasm-fn"]
+    assert containerd.running == ["native", "wasm-fn"]
+
+
+def test_containerd_rejects_unknown_runtime_and_duplicates(runc):
+    containerd = Containerd(runc)
+    bundle = OciBundle(name="fn", image=ContainerImage.hello_world())
+    containerd.start(bundle)
+    with pytest.raises(ContainerdError):
+        containerd.start(bundle)
+    with pytest.raises(ContainerdError):
+        containerd.start(
+            OciBundle(name="other", image=WasmImage.hello_world(), runtime_class="unknown-shim")
+        )
+    with pytest.raises(ContainerdError):
+        containerd.handle("missing")
+
+
+def test_containerd_workflow_snapshot_and_trust(runc):
+    containerd = Containerd(runc)
+    containerd.register_shim("roadrunner-shim", lambda bundle: object())
+    containerd.start(
+        OciBundle(name="a", image=WasmImage.hello_world(), runtime_class="roadrunner-shim"),
+        workflow="wf-1",
+        tenant="t1",
+    )
+    containerd.start(
+        OciBundle(name="b", image=WasmImage.hello_world(), runtime_class="roadrunner-shim"),
+        workflow="wf-1",
+        tenant="t1",
+    )
+    containerd.start(
+        OciBundle(name="c", image=WasmImage.hello_world(), runtime_class="roadrunner-shim"),
+        workflow="wf-2",
+        tenant="t2",
+    )
+    assert {h.name for h in containerd.snapshot("wf-1")} == {"a", "b"}
+    assert containerd.same_workflow_and_tenant("a", "b")
+    assert not containerd.same_workflow_and_tenant("a", "c")
+    containerd.stop("a")
+    assert "a" not in containerd.running
+    with pytest.raises(ContainerdError):
+        containerd.stop("a")

@@ -1,0 +1,147 @@
+"""Integration-style tests for Roadrunner's three channels.
+
+These run real payloads end to end (source linear memory -> channel ->
+target linear memory) and assert both correctness (byte-for-byte delivery)
+and the mechanism claims: no serialization codec on the path, near-zero
+copies on the network path, strict placement/trust preconditions.
+"""
+
+import pytest
+
+from repro.core.config import RoadrunnerConfig
+from repro.core.kernel_space import KernelSpaceChannel
+from repro.core.network import NetworkChannel
+from repro.core.user_space import UserSpaceChannel
+from repro.payload import Payload
+from repro.platform.channel import ChannelError
+from repro.platform.cluster import Cluster
+from repro.platform.function import FunctionSpec
+from repro.platform.orchestrator import Orchestrator
+from repro.sim.ledger import CostCategory
+from repro.wasm.runtime import RuntimeKind
+
+from tests.conftest import make_wasm_specs
+
+
+def test_user_space_transfer_delivers_and_skips_serialization(shared_vm_pair):
+    cluster, _, (a, b) = shared_vm_pair
+    channel = UserSpaceChannel(cluster)
+    payload = Payload.random(64 * 1024, seed=1)
+    outcome = channel.transfer(a, b, payload)
+    payload.require_match(outcome.delivered)
+    stored = b.instance.memory.read_payload(b.instance.input_address, payload.size)
+    payload.require_match(stored)
+    # Serialization-free: only the pointer hand-off cost, far below a codec.
+    assert outcome.metrics.serialization_s < 1e-3
+    assert outcome.metrics.wasm_io_s > 0
+    assert outcome.metrics.syscalls == 0
+
+
+def test_user_space_requires_shared_vm(separate_vm_pair):
+    cluster, _, (a, b) = separate_vm_pair
+    channel = UserSpaceChannel(cluster)
+    assert not channel.supports(a, b)
+    with pytest.raises(ChannelError):
+        channel.transfer(a, b, Payload.random(64))
+
+
+def test_user_space_requires_same_trust_domain():
+    cluster = Cluster.single_node()
+    orchestrator = Orchestrator(cluster)
+    specs = [
+        FunctionSpec("fn-a", runtime=RuntimeKind.ROADRUNNER, workflow="wf", tenant="t1"),
+        FunctionSpec("fn-b", runtime=RuntimeKind.ROADRUNNER, workflow="wf", tenant="t1"),
+    ]
+    a, b = orchestrator.deploy_all(specs, share_vm_key="wf", materialize=True)
+    strict = UserSpaceChannel(cluster)
+    assert strict.supports(a, b)
+    # Same deployment evaluated under a config that disables the trust check
+    # still works; the check itself is exercised via the router/supports path.
+    relaxed = UserSpaceChannel(cluster, RoadrunnerConfig(enforce_trust_domain=False))
+    outcome = relaxed.transfer(a, b, Payload.random(128))
+    assert outcome.metrics.mode == "roadrunner-user"
+
+
+def test_kernel_space_transfer_uses_ipc_not_serialization(separate_vm_pair):
+    cluster, _, (a, b) = separate_vm_pair
+    channel = KernelSpaceChannel(cluster)
+    payload = Payload.random(96 * 1024, seed=2)
+    outcome = channel.transfer(a, b, payload)
+    payload.require_match(outcome.delivered)
+    metrics = outcome.metrics
+    assert metrics.serialization_s < 1e-3
+    assert metrics.breakdown.get("ipc", 0) > 0
+    assert metrics.syscalls > 0
+    assert metrics.context_switches >= 1
+
+
+def test_kernel_space_requires_colocation_and_separate_vms(shared_vm_pair, remote_vm_pair):
+    cluster_shared, _, (sa, sb) = shared_vm_pair
+    assert not KernelSpaceChannel(cluster_shared).supports(sa, sb)
+    cluster_remote, _, (ra, rb) = remote_vm_pair
+    assert not KernelSpaceChannel(cluster_remote).supports(ra, rb)
+    with pytest.raises(ChannelError):
+        KernelSpaceChannel(cluster_remote).transfer(ra, rb, Payload.random(64))
+
+
+def test_network_transfer_is_serialization_free_and_near_zero_copy(remote_vm_pair):
+    cluster, _, (a, b) = remote_vm_pair
+    channel = NetworkChannel(cluster)
+    payload = Payload.random(256 * 1024, seed=3)
+    outcome = channel.transfer(a, b, payload)
+    payload.require_match(outcome.delivered)
+    metrics = outcome.metrics
+    assert metrics.serialization_s < 1e-3
+    assert metrics.breakdown.get("splice", 0) > 0
+    assert metrics.breakdown.get("network", 0) > 0
+    # Near-zero copy: the only copies are the Wasm VM I/O ones (in and out of
+    # linear memory); nothing is copied across the user/kernel boundary.
+    assert metrics.copied_bytes <= 2 * payload.size + 4096
+
+
+def test_network_channel_requires_remote_placement(separate_vm_pair):
+    cluster, _, (a, b) = separate_vm_pair
+    channel = NetworkChannel(cluster)
+    assert not channel.supports(a, b)
+    with pytest.raises(ChannelError):
+        channel.transfer(a, b, Payload.random(64))
+
+
+def test_network_zero_copy_ablation_copies_more(remote_vm_pair):
+    cluster, orchestrator, (a, b) = remote_vm_pair
+    payload = Payload.random(128 * 1024, seed=4)
+    zero_copy = NetworkChannel(cluster).transfer(a, b, payload)
+    # Fresh remote pair for the ablation so ledgers do not mix.
+    cluster2 = Cluster.edge_cloud_pair()
+    orch2 = Orchestrator(cluster2)
+    a2, b2 = orch2.deploy_all(
+        make_wasm_specs(), placement={"fn-a": "edge", "fn-b": "cloud"}, materialize=True
+    )
+    copying = NetworkChannel(cluster2, RoadrunnerConfig.no_zero_copy()).transfer(a2, b2, payload)
+    assert copying.metrics.copied_bytes > zero_copy.metrics.copied_bytes
+    assert copying.metrics.total_latency_s > zero_copy.metrics.total_latency_s
+
+
+def test_serialization_ablation_reintroduces_codec_cost(shared_vm_pair):
+    cluster, _, (a, b) = shared_vm_pair
+    payload = Payload.random(64 * 1024, seed=5)
+    with_codec = UserSpaceChannel(cluster, RoadrunnerConfig.with_serialization())
+    outcome = with_codec.transfer(a, b, payload)
+    payload.require_match(outcome.delivered)
+    serialization_free = UserSpaceChannel(cluster).transfer(a, b, payload)
+    assert outcome.metrics.serialization_s > 5 * serialization_free.metrics.serialization_s
+
+
+def test_channel_rejects_empty_payload(shared_vm_pair):
+    cluster, _, (a, b) = shared_vm_pair
+    with pytest.raises(ChannelError):
+        UserSpaceChannel(cluster).transfer(a, b, Payload.from_bytes(b""))
+
+
+def test_transfer_counter_and_shim_reuse(shared_vm_pair):
+    cluster, _, (a, b) = shared_vm_pair
+    channel = UserSpaceChannel(cluster)
+    channel.transfer(a, b, Payload.random(1024))
+    channel.transfer(a, b, Payload.random(1024))
+    assert channel.transfers == 2
+    assert channel.shim_for(a) is channel.shim_for(a)

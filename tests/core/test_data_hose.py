@@ -1,0 +1,69 @@
+"""Unit tests for the virtual data hose."""
+
+import pytest
+
+from repro.core.data_hose import DataHoseError, VirtualDataHose
+from repro.kernel.kernel import Kernel
+from repro.payload import Payload
+from repro.sim.ledger import CostCategory, CostLedger
+
+
+@pytest.fixture
+def kernel():
+    return Kernel(ledger=CostLedger(), node_name="node-a")
+
+
+@pytest.fixture
+def owner(kernel):
+    return kernel.create_process("shim")
+
+
+def test_hose_setup_charges_splice_category(kernel, owner):
+    VirtualDataHose(kernel, owner, name="vdh-1")
+    assert kernel.ledger.seconds(CostCategory.SPLICE) > 0
+    assert kernel.ledger.syscalls >= 1
+
+
+def test_gift_then_drain_mapped_is_zero_copy(kernel, owner):
+    hose = VirtualDataHose(kernel, owner, capacity=1 << 20)
+    payload = Payload.random(256 * 1024)
+    hose.gift(payload)
+    assert kernel.ledger.copied_bytes == 0
+    delivered = hose.drain_mapped()
+    payload.require_match(delivered)
+    assert kernel.ledger.copied_bytes == 0
+
+
+def test_push_copy_then_drain_to_user_copies_twice(kernel, owner):
+    hose = VirtualDataHose(kernel, owner, capacity=1 << 20)
+    payload = Payload.random(128 * 1024)
+    hose.push_copy(payload)
+    delivered = hose.drain_to_user()
+    payload.require_match(delivered)
+    assert kernel.ledger.copied_bytes >= 2 * payload.size
+
+
+def test_hose_sized_to_message_accepts_large_payloads(kernel, owner):
+    big = Payload.virtual(64 * 1024 * 1024)
+    hose = VirtualDataHose(kernel, owner, capacity=big.size)
+    hose.gift(big)
+    assert hose.pipe.buffered_bytes == big.size
+
+
+def test_closed_hose_rejects_operations(kernel, owner):
+    hose = VirtualDataHose(kernel, owner)
+    hose.close_all()
+    assert hose.closed
+    with pytest.raises(DataHoseError):
+        hose.gift(Payload.random(64))
+    with pytest.raises(DataHoseError):
+        hose.drain_to_user()
+    # Closing twice is harmless (idempotent close_all in Algorithm 1).
+    hose.close_all()
+
+
+def test_context_manager_closes_on_exit(kernel, owner):
+    with VirtualDataHose(kernel, owner) as hose:
+        hose.gift(Payload.random(64))
+        hose.drain_mapped()
+    assert hose.closed

@@ -1,0 +1,134 @@
+"""Isolation guarantees and failure injection.
+
+The paper's security discussion (Sec. 7) argues that the shim-mediated design
+confines failures: out-of-bounds accesses trap the offending function only,
+cross-tenant access is refused, and resource-limit violations surface as
+errors rather than silent corruption.  These tests exercise exactly those
+failure paths.
+"""
+
+import pytest
+
+from repro.core.kernel_space import KernelSpaceChannel
+from repro.core.shim import RoadrunnerShim, ShimError
+from repro.core.user_space import UserSpaceChannel
+from repro.payload import Payload, PayloadError
+from repro.platform.channel import ChannelError
+from repro.platform.cluster import Cluster
+from repro.platform.function import FunctionSpec
+from repro.platform.orchestrator import Orchestrator
+from repro.wasm.linear_memory import OutOfMemoryError
+from repro.wasm.runtime import RuntimeKind
+
+
+def _deploy_pair(workflows=("wf", "wf"), tenants=("t1", "t1"), share_vm=False, max_pages=None):
+    cluster = Cluster.single_node()
+    orchestrator = Orchestrator(cluster)
+    specs = [
+        FunctionSpec("fn-a", runtime=RuntimeKind.ROADRUNNER, workflow=workflows[0], tenant=tenants[0]),
+        FunctionSpec("fn-b", runtime=RuntimeKind.ROADRUNNER, workflow=workflows[1], tenant=tenants[1]),
+    ]
+    share_key = "shared" if share_vm else None
+    deployments = []
+    for spec in specs:
+        deployments.append(
+            orchestrator.deploy(spec, "node-a", share_vm_key=share_key, materialize=True)
+        )
+    return cluster, orchestrator, deployments
+
+
+def test_instances_in_one_vm_have_disjoint_memories():
+    cluster, _, (a, b) = _deploy_pair(share_vm=True)
+    payload = Payload.random(1024, seed=1)
+    address = a.instance.memory.store_payload(payload)
+    # The same address in the other instance's memory does not hold the data.
+    assert b.instance.memory._segments.get(address) is None
+    other = Payload.random(1024, seed=2)
+    b.instance.memory.store_payload(other)
+    assert a.instance.memory.read_payload(address, payload.size).data == payload.data
+
+
+def test_shim_cannot_read_another_functions_region():
+    cluster, _, (a, b) = _deploy_pair(share_vm=True)
+    channel = UserSpaceChannel(cluster)
+    shim_a = channel.shim_for(a)
+    api = shim_a.guest_api()
+    address, length = api.locate_memory_region(Payload.random(512))
+    api.send_to_host(address, length)
+    # The region was registered by fn-a; fn-b's shim must not be able to read
+    # it as its own output.
+    shim_b = channel.shim_for(b)
+    with pytest.raises(ShimError):
+        shim_b.read_output()
+
+
+def test_cross_tenant_user_space_transfer_is_refused():
+    cluster, _, (a, b) = _deploy_pair(tenants=("t1", "t2"))
+    channel = UserSpaceChannel(cluster)
+    assert not channel.supports(a, b)
+    with pytest.raises(ChannelError):
+        channel.transfer(a, b, Payload.random(64))
+
+
+def test_cross_workflow_functions_cannot_share_a_vm():
+    cluster = Cluster.single_node()
+    orchestrator = Orchestrator(cluster)
+    orchestrator.deploy(
+        FunctionSpec("fn-a", runtime=RuntimeKind.ROADRUNNER, workflow="wf-1"),
+        "node-a",
+        share_vm_key="shared",
+        materialize=True,
+    )
+    with pytest.raises(Exception):
+        orchestrator.deploy(
+            FunctionSpec("fn-b", runtime=RuntimeKind.ROADRUNNER, workflow="wf-2"),
+            "node-a",
+            share_vm_key="shared",
+            materialize=True,
+        )
+
+
+def test_memory_limit_violation_fails_the_transfer_only():
+    """Exceeding the target VM's memory limit traps instead of corrupting."""
+    cluster = Cluster.single_node()
+    orchestrator = Orchestrator(cluster)
+    a = orchestrator.deploy(
+        FunctionSpec("fn-a", runtime=RuntimeKind.ROADRUNNER, workflow="wf"),
+        "node-a",
+        materialize=True,
+    )
+    b = orchestrator.deploy(
+        FunctionSpec("fn-b", runtime=RuntimeKind.ROADRUNNER, workflow="wf"),
+        "node-a",
+        materialize=True,
+    )
+    # Shrink fn-b's memory ceiling to a couple of pages.
+    b.instance.memory._max_pages = b.instance.memory.pages
+    channel = KernelSpaceChannel(cluster)
+    big = Payload.random(4 * 1024 * 1024, seed=3)
+    with pytest.raises(OutOfMemoryError):
+        channel.transfer(a, b, big)
+    # The source function and the channel stay usable for a payload that fits.
+    small = Payload.random(8 * 1024, seed=4)
+    outcome = channel.transfer(a, b, small)
+    small.require_match(outcome.delivered)
+
+
+def test_corrupted_delivery_is_detected_by_integrity_check():
+    cluster, _, (a, b) = _deploy_pair(share_vm=True)
+    channel = UserSpaceChannel(cluster)
+    payload = Payload.random(1024, seed=5)
+    outcome = channel.transfer(a, b, payload)
+    tampered = Payload.random(1024, seed=6)
+    with pytest.raises(PayloadError):
+        outcome.verify_against(tampered)
+
+
+def test_released_input_cannot_be_read_again():
+    cluster, _, (a, b) = _deploy_pair(share_vm=True)
+    channel = UserSpaceChannel(cluster)
+    shim_b = channel.shim_for(b)
+    address = shim_b.write_input(Payload.random(256))
+    shim_b.release_input(address)
+    with pytest.raises(ShimError):
+        shim_b.read_region(address, 256)

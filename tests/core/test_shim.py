@@ -1,0 +1,100 @@
+"""Unit tests for the Roadrunner shim: mediation, trust, bounds enforcement."""
+
+import pytest
+
+from repro.core.config import RoadrunnerConfig
+from repro.core.shim import RoadrunnerShim, ShimError
+from repro.payload import Payload
+from repro.sim.ledger import CostCategory
+
+
+def make_shims(pair_fixture, config=None):
+    cluster, _, (a, b) = pair_fixture
+    return (
+        cluster,
+        RoadrunnerShim(a, cluster, config=config),
+        RoadrunnerShim(b, cluster, config=config),
+    )
+
+
+def test_shim_requires_wasm_deployment(container_pair):
+    cluster, _, (a, _) = container_pair
+    with pytest.raises(ShimError):
+        RoadrunnerShim(a, cluster)
+
+
+def test_read_output_requires_registration(shared_vm_pair):
+    cluster, shim_a, _ = make_shims(shared_vm_pair)
+    with pytest.raises(ShimError):
+        shim_a.read_output()
+
+
+def test_guest_registration_then_shim_read(shared_vm_pair):
+    cluster, shim_a, _ = make_shims(shared_vm_pair)
+    payload = Payload.random(2048)
+    api = shim_a.guest_api()
+    address, length = api.locate_memory_region(payload)
+    api.send_to_host(address, length)
+    data, read_address, read_length = shim_a.read_output()
+    assert (read_address, read_length) == (address, length)
+    payload.require_match(data)
+    assert cluster.ledger.seconds(CostCategory.WASM_IO) > 0
+
+
+def test_read_region_enforces_bounds(shared_vm_pair):
+    cluster, shim_a, _ = make_shims(shared_vm_pair)
+    payload = Payload.random(1024)
+    api = shim_a.guest_api()
+    address, length = api.locate_memory_region(payload)
+    api.send_to_host(address, length)
+    # Reading past the registered region must be refused.
+    with pytest.raises(ShimError):
+        shim_a.read_region(address, length + 1)
+    with pytest.raises(ShimError):
+        shim_a.read_region(address + length, 16)
+
+
+def test_bounds_check_can_be_disabled_for_experiments(shared_vm_pair):
+    config = RoadrunnerConfig(enforce_bounds_checks=False)
+    cluster, shim_a, _ = make_shims(shared_vm_pair, config=config)
+    payload = Payload.random(128)
+    api = shim_a.guest_api()
+    address, length = api.locate_memory_region(payload)
+    # Without registration the default shim refuses; the permissive one reads.
+    data = shim_a.read_region(address, length)
+    payload.require_match(data)
+
+
+def test_write_input_allocates_registers_and_is_releasable(shared_vm_pair):
+    cluster, _, shim_b = make_shims(shared_vm_pair)
+    payload = Payload.random(4096)
+    address = shim_b.write_input(payload)
+    stored = shim_b.deployed.instance.memory.read_payload(address, payload.size)
+    payload.require_match(stored)
+    # The delivered region is registered, so the shim may read it back.
+    delivered = shim_b.read_region(address, payload.size)
+    payload.require_match(delivered)
+    shim_b.release_input(address)
+    with pytest.raises(ShimError):
+        shim_b.read_region(address, payload.size)
+
+
+def test_write_input_rejects_empty_payload(shared_vm_pair):
+    _, _, shim_b = make_shims(shared_vm_pair)
+    with pytest.raises(ShimError):
+        shim_b.write_input(Payload.from_bytes(b""))
+
+
+def test_trust_depends_on_workflow_and_tenant(shared_vm_pair, separate_vm_pair):
+    _, shim_a, shim_b = make_shims(shared_vm_pair)
+    assert shim_a.trusts(shim_b)
+    relaxed = RoadrunnerConfig(enforce_trust_domain=False)
+    _, other_a, _ = make_shims(separate_vm_pair, config=relaxed)
+    assert other_a.trusts(shim_b)
+
+
+def test_guest_api_carries_trust_domain(shared_vm_pair):
+    _, shim_a, _ = make_shims(shared_vm_pair)
+    api = shim_a.guest_api()
+    assert api.workflow == shim_a.deployed.spec.workflow
+    assert api.tenant == shim_a.deployed.spec.tenant

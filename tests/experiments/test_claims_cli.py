@@ -1,0 +1,76 @@
+"""Tests for the claims evaluator, the CLI and the syscall-batching extension."""
+
+import io
+from contextlib import redirect_stdout
+
+import pytest
+
+from repro.cli import main
+from repro.core.config import RoadrunnerConfig
+from repro.experiments.claims import ClaimCheck, evaluate_claims, render_claims
+from repro.experiments.environment import build_pair_setup
+from repro.workloads.generators import make_payload
+
+
+def test_evaluate_claims_all_satisfied_quick():
+    checks = evaluate_claims(payload_mb=20, fanout_degree=10)
+    assert checks
+    assert all(isinstance(check, ClaimCheck) for check in checks)
+    unsatisfied = [check.claim_id for check in checks if not check.satisfied]
+    assert unsatisfied == []
+
+
+def test_render_claims_is_a_table():
+    checks = [
+        ClaimCheck("id-1", "demo claim", "-50%", "-60%", True),
+        ClaimCheck("id-2", "another claim", "2x", "1.5x", False),
+    ]
+    text = render_claims(checks)
+    assert "id-1" in text and "NO" in text and "yes" in text
+
+
+def test_cli_claims_exit_code_reflects_satisfaction():
+    buffer = io.StringIO()
+    with redirect_stdout(buffer):
+        exit_code = main(["claims", "--payload-mb", "20", "--fanout", "10"])
+    assert exit_code == 0
+    assert "Headline claims" in buffer.getvalue()
+
+
+def test_cli_figures_export(tmp_path):
+    buffer = io.StringIO()
+    with redirect_stdout(buffer):
+        exit_code = main(["figures", "--export-dir", str(tmp_path), "--format", "json"])
+    assert exit_code == 0
+    written = sorted(p.name for p in tmp_path.iterdir())
+    assert "fig7.json" in written and "fig10.json" in written
+
+
+def test_cli_select_prints_recommendation():
+    buffer = io.StringIO()
+    with redirect_stdout(buffer):
+        exit_code = main(["select", "--payload-mb", "50"])
+    assert exit_code == 0
+    output = buffer.getvalue()
+    assert "Recommended runtime" in output
+    assert "roadrunner" in output
+
+
+def test_syscall_batching_reduces_syscalls_without_changing_the_result():
+    plain_setup = build_pair_setup("roadrunner-kernel")
+    batched_setup = build_pair_setup(
+        "roadrunner-kernel", config=RoadrunnerConfig.with_syscall_batching(factor=16)
+    )
+    payload = make_payload(50)
+    plain = plain_setup.channel.transfer(plain_setup.source, plain_setup.target, payload)
+    batched = batched_setup.channel.transfer(batched_setup.source, batched_setup.target, payload)
+    payload.require_match(batched.delivered)
+    assert batched.metrics.syscalls <= plain.metrics.syscalls
+    assert batched.metrics.total_latency_s <= plain.metrics.total_latency_s
+
+
+def test_batching_config_validation():
+    with pytest.raises(Exception):
+        RoadrunnerConfig(syscall_batch_factor=0)
+    assert RoadrunnerConfig().effective_batch_factor == 1
+    assert RoadrunnerConfig.with_syscall_batching(4).effective_batch_factor == 4

@@ -1,0 +1,35 @@
+"""CLI ``figures`` printing path and figure-result completeness checks."""
+
+import io
+from contextlib import redirect_stdout
+
+from repro.cli import main
+from repro.experiments import run_fig7
+from repro.experiments.panels import EIGHT_PANELS, MODE_LABELS
+
+
+def test_cli_figures_prints_all_quick_figures():
+    buffer = io.StringIO()
+    with redirect_stdout(buffer):
+        exit_code = main(["figures"])
+    output = buffer.getvalue()
+    assert exit_code == 0
+    for figure in ("fig2a", "fig2b", "fig6", "fig7", "fig8", "fig9", "fig10"):
+        assert figure in output
+    # The legend labels the paper uses appear in the rendered tables.
+    assert "RoadRunner (User space)" in output
+    assert "Wasmedge" in output
+
+
+def test_every_series_has_one_value_per_x_position():
+    result = run_fig7(sizes_mb=[1, 50, 100])
+    for panel in EIGHT_PANELS:
+        for series, values in result.panel(panel).items():
+            assert len(values) == len(result.x_values), (panel, series)
+
+
+def test_series_names_match_known_mode_labels():
+    result = run_fig7(sizes_mb=[1])
+    known = set(MODE_LABELS.values())
+    for panel in EIGHT_PANELS:
+        assert set(result.panel(panel)) <= known

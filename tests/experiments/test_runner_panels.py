@@ -1,0 +1,63 @@
+"""Tests for the experiment runner, the panel helpers and result rendering."""
+
+import pytest
+
+from repro.experiments.harness import measure_fanout, measure_pair
+from repro.experiments.panels import (
+    EIGHT_PANELS,
+    SERIALIZATION_RPS_CAP,
+    add_eight_panel_point,
+    add_fanout_panel_point,
+)
+from repro.experiments.results import FigureResult
+from repro.experiments.runner import QUICK_DEGREES, QUICK_SIZES_MB, render_all, run_all
+
+
+def test_add_eight_panel_point_fills_every_panel():
+    result = FigureResult(figure="f", title="t", x_label="MB", x_values=[10])
+    aggregate = measure_pair("roadrunner-user", payload_mb=10)
+    add_eight_panel_point(result, "roadrunner-user", aggregate, cores=4)
+    assert set(result.panels) == set(EIGHT_PANELS)
+    for panel in EIGHT_PANELS:
+        assert len(result.series(panel, "RoadRunner (User space)")) == 1
+
+
+def test_serialization_throughput_is_capped_for_serialization_free_modes():
+    result = FigureResult(figure="f", title="t", x_label="MB", x_values=[10])
+    aggregate = measure_pair("roadrunner-user", payload_mb=10)
+    add_eight_panel_point(result, "roadrunner-user", aggregate, cores=4)
+    value = result.value("d_serialization_throughput_rps", "RoadRunner (User space)", 10)
+    assert value <= SERIALIZATION_RPS_CAP
+
+
+def test_reference_window_scales_cpu_percentages():
+    aggregate = measure_pair("roadrunner-user", payload_mb=10)
+    short_window = FigureResult(figure="f", title="t", x_label="MB", x_values=[10])
+    long_window = FigureResult(figure="f", title="t", x_label="MB", x_values=[10])
+    add_eight_panel_point(short_window, "roadrunner-user", aggregate, cores=4,
+                          reference_wall_s=aggregate.mean_latency_s)
+    add_eight_panel_point(long_window, "roadrunner-user", aggregate, cores=4,
+                          reference_wall_s=10 * aggregate.mean_latency_s)
+    short_cpu = short_window.value("e_total_cpu_pct", "RoadRunner (User space)", 10)
+    long_cpu = long_window.value("e_total_cpu_pct", "RoadRunner (User space)", 10)
+    assert long_cpu == pytest.approx(short_cpu / 10)
+
+
+def test_add_fanout_panel_point_uses_mean_branch_latency():
+    result = FigureResult(figure="f", title="t", x_label="degree", x_values=[8])
+    aggregate = measure_fanout("roadrunner-kernel", degree=8, payload_mb=1)
+    add_fanout_panel_point(result, "roadrunner-kernel", aggregate, cores=4)
+    latency = result.value("a_total_latency_s", "RoadRunner (Kernel space)", 8)
+    throughput = result.value("b_total_throughput_rps", "RoadRunner (Kernel space)", 8)
+    assert latency == pytest.approx(aggregate.mean_branch_latency_s)
+    assert throughput == pytest.approx(aggregate.throughput_rps)
+
+
+def test_run_all_quick_produces_every_figure():
+    results = run_all(quick=True)
+    assert set(results) == {"fig2a", "fig2b", "fig6", "fig7", "fig8", "fig9", "fig10"}
+    assert results["fig7"].x_values == list(QUICK_SIZES_MB)
+    assert results["fig9"].x_values == list(QUICK_DEGREES)
+    rendered = render_all(results)
+    for name in results:
+        assert name in rendered

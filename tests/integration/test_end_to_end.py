@@ -1,0 +1,167 @@
+"""End-to-end integration tests across the whole stack.
+
+These exercise the public API the way the examples and a downstream user
+would: deploy functions through the orchestrator, move real data through the
+Roadrunner facade channel and the baselines, run multi-stage workflows, and
+confirm that the numbers the experiment harness reports are consistent with
+the underlying ledgers.
+"""
+
+import pytest
+
+from repro import (
+    Cluster,
+    FunctionSpec,
+    Invoker,
+    Orchestrator,
+    Payload,
+    RoadrunnerChannel,
+    RunCHttpChannel,
+    RuntimeKind,
+    SequenceWorkflow,
+    WasmEdgeHttpChannel,
+)
+from repro.core.router import TransferMode
+from repro.platform.workflow import FanOutWorkflow
+from repro.workloads.scenarios import image_frame, sensor_batch
+
+
+def test_quickstart_flow_from_the_readme():
+    cluster = Cluster.single_node()
+    orchestrator = Orchestrator(cluster)
+    specs = [
+        FunctionSpec("ingest", runtime=RuntimeKind.ROADRUNNER, workflow="pipeline"),
+        FunctionSpec("infer", runtime=RuntimeKind.ROADRUNNER, workflow="pipeline"),
+    ]
+    orchestrator.deploy_all(specs, share_vm_key="pipeline", materialize=True)
+    channel = RoadrunnerChannel(cluster)
+    invoker = Invoker(orchestrator, channel)
+    payload = Payload.from_text("hello roadrunner")
+    result = invoker.invoke(SequenceWorkflow(["ingest", "infer"]), payload)
+    assert channel.last_mode is TransferMode.USER_SPACE
+    assert result.total_latency_s > 0
+    payload.require_match(result.outcomes["ingest->infer"].delivered)
+
+
+def test_image_pipeline_over_three_stages_same_vm():
+    cluster = Cluster.single_node()
+    orchestrator = Orchestrator(cluster)
+    stages = ["extract", "preprocess", "infer"]
+    specs = [
+        FunctionSpec(name, runtime=RuntimeKind.ROADRUNNER, workflow="vision") for name in stages
+    ]
+    orchestrator.deploy_all(specs, share_vm_key="vision", materialize=True)
+    invoker = Invoker(orchestrator, RoadrunnerChannel(cluster))
+    frame = image_frame(width=128, height=64)
+    result = invoker.invoke(SequenceWorkflow(stages), frame)
+    assert len(result.outcomes) == 2
+    for outcome in result.outcomes.values():
+        frame.require_match(outcome.delivered)
+    assert result.aggregate.serialization_s < 1e-3
+
+
+def test_edge_cloud_pipeline_switches_to_network_mode():
+    cluster = Cluster.edge_cloud_pair()
+    orchestrator = Orchestrator(cluster)
+    specs = [
+        FunctionSpec("edge-aggregate", runtime=RuntimeKind.ROADRUNNER, workflow="iot"),
+        FunctionSpec("cloud-analytics", runtime=RuntimeKind.ROADRUNNER, workflow="iot"),
+    ]
+    orchestrator.deploy_all(
+        specs,
+        placement={"edge-aggregate": "edge", "cloud-analytics": "cloud"},
+        materialize=True,
+    )
+    channel = RoadrunnerChannel(cluster)
+    invoker = Invoker(orchestrator, channel)
+    batch = sensor_batch(readings=128)
+    result = invoker.invoke(SequenceWorkflow(["edge-aggregate", "cloud-analytics"]), batch)
+    assert channel.last_mode is TransferMode.NETWORK
+    batch.require_match(result.outcomes["edge-aggregate->cloud-analytics"].delivered)
+    assert result.aggregate.breakdown.get("network", 0) > 0
+
+
+def test_roadrunner_outperforms_wasmedge_for_the_same_real_workload():
+    payload = Payload.random(512 * 1024, seed=42)
+
+    rr_cluster = Cluster.single_node()
+    rr_orchestrator = Orchestrator(rr_cluster)
+    rr_orchestrator.deploy_all(
+        [
+            FunctionSpec("a", runtime=RuntimeKind.ROADRUNNER, workflow="wf"),
+            FunctionSpec("b", runtime=RuntimeKind.ROADRUNNER, workflow="wf"),
+        ],
+        share_vm_key="wf",
+        materialize=True,
+    )
+    rr_result = Invoker(rr_orchestrator, RoadrunnerChannel(rr_cluster)).invoke(
+        SequenceWorkflow(["a", "b"]), payload
+    )
+
+    wasm_cluster = Cluster.single_node()
+    wasm_orchestrator = Orchestrator(wasm_cluster)
+    wasm_orchestrator.deploy_all(
+        [
+            FunctionSpec("a", runtime=RuntimeKind.WASMEDGE),
+            FunctionSpec("b", runtime=RuntimeKind.WASMEDGE),
+        ],
+        materialize=True,
+    )
+    wasm_result = Invoker(wasm_orchestrator, WasmEdgeHttpChannel(wasm_cluster)).invoke(
+        SequenceWorkflow(["a", "b"]), payload
+    )
+
+    assert rr_result.total_latency_s < wasm_result.total_latency_s
+    assert rr_result.aggregate.serialization_s < wasm_result.aggregate.serialization_s
+
+
+def test_fanout_workflow_through_the_facade_channel():
+    cluster = Cluster.single_node()
+    orchestrator = Orchestrator(cluster)
+    targets = ["worker-%d" % i for i in range(6)]
+    specs = [FunctionSpec("dispatcher", runtime=RuntimeKind.ROADRUNNER, workflow="wf")] + [
+        FunctionSpec(name, runtime=RuntimeKind.ROADRUNNER, workflow="wf") for name in targets
+    ]
+    orchestrator.deploy_all(specs, share_vm_key="wf", materialize=True)
+    invoker = Invoker(orchestrator, RoadrunnerChannel(cluster))
+    payload = Payload.random(64 * 1024)
+    result = invoker.invoke(FanOutWorkflow("dispatcher", targets), payload)
+    assert result.branches == 6
+    for outcome in result.outcomes.values():
+        payload.require_match(outcome.delivered)
+
+
+def test_container_baseline_full_stack_round_trip():
+    cluster = Cluster.single_node()
+    orchestrator = Orchestrator(cluster)
+    orchestrator.deploy_all(
+        [
+            FunctionSpec("a", runtime=RuntimeKind.RUNC, requires_wasi=False),
+            FunctionSpec("b", runtime=RuntimeKind.RUNC, requires_wasi=False),
+        ],
+        materialize=True,
+    )
+    invoker = Invoker(orchestrator, RunCHttpChannel(cluster))
+    payload = sensor_batch(readings=64)
+    result = invoker.invoke(SequenceWorkflow(["a", "b"]), payload)
+    payload.require_match(result.outcomes["a->b"].delivered)
+    assert result.aggregate.serialization_s > 0
+
+
+def test_ledger_totals_are_consistent_with_reported_metrics():
+    cluster = Cluster.single_node()
+    orchestrator = Orchestrator(cluster)
+    orchestrator.deploy_all(
+        [
+            FunctionSpec("a", runtime=RuntimeKind.ROADRUNNER, workflow="wf"),
+            FunctionSpec("b", runtime=RuntimeKind.ROADRUNNER, workflow="wf"),
+        ],
+        share_vm_key="wf",
+        materialize=True,
+    )
+    channel = RoadrunnerChannel(cluster)
+    invoker = Invoker(orchestrator, channel)
+    before = cluster.ledger.clock.now
+    result = invoker.invoke(SequenceWorkflow(["a", "b"]), Payload.random(256 * 1024))
+    elapsed = cluster.ledger.clock.now - before
+    assert result.total_latency_s == pytest.approx(elapsed)

@@ -1,0 +1,72 @@
+"""The example applications must run end to end and print sane output."""
+
+import importlib.util
+import io
+import os
+import sys
+from contextlib import redirect_stdout
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__)))), "examples")
+
+
+def _load_example(filename):
+    path = os.path.join(EXAMPLES_DIR, filename)
+    spec = importlib.util.spec_from_file_location("example_" + filename.replace(".py", ""), path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def _run_main(module):
+    captured = io.StringIO()
+    with redirect_stdout(captured):
+        module.main()
+    return captured.getvalue()
+
+
+def test_quickstart_example_runs_and_reports_speedup():
+    output = _run_main(_load_example("quickstart.py"))
+    assert "Roadrunner mode" in output
+    assert "user_space" in output
+    assert "Speedup" in output
+    assert "OK" in output
+
+
+def test_image_pipeline_example_runs_all_stages():
+    output = _run_main(_load_example("image_pipeline.py"))
+    assert "ingest->extract-frames" in output
+    assert "preprocess->infer" in output
+    assert "End-to-end speedup" in output
+
+
+def test_traffic_fanout_example_prints_both_tables():
+    output = _run_main(_load_example("traffic_analytics_fanout.py"))
+    assert "Mean per-branch latency" in output
+    assert "Aggregate throughput" in output
+    assert "RoadRunner (User space)" in output
+
+
+def test_stateful_selector_example_runs_extensions():
+    output = _run_main(_load_example("stateful_selector.py"))
+    assert "Dynamic runtime selection" in output
+    assert "Shim-managed function state" in output
+    assert "roadrunner" in output
+
+
+def test_edge_gateway_replay_example_balances_and_compares():
+    output = _run_main(_load_example("edge_gateway_replay.py"))
+    assert "requests served per replica" in output
+    assert "p95 latency improvement" in output
+
+
+def test_reproduce_paper_example_quick_run(monkeypatch):
+    module = _load_example("reproduce_paper.py")
+    monkeypatch.setattr(sys, "argv", ["reproduce_paper.py"])
+    captured = io.StringIO()
+    with redirect_stdout(captured):
+        module.main()
+    output = captured.getvalue()
+    for figure in ("fig2a", "fig6", "fig7", "fig8", "fig9", "fig10"):
+        assert figure in output

@@ -1,0 +1,52 @@
+"""Tests for figure export (CSV/JSON/TXT)."""
+
+import csv
+import io
+import json
+
+import pytest
+
+from repro.experiments.results import FigureResult
+from repro.metrics.export import ExportError, figure_to_csv, figure_to_dict, figure_to_json, write_figure
+
+
+@pytest.fixture
+def figure():
+    result = FigureResult(figure="fig7", title="demo", x_label="MB", x_values=[1, 10])
+    result.add_point("latency", "RoadRunner", 0.1)
+    result.add_point("latency", "RoadRunner", 0.2)
+    result.add_point("latency", "Wasmedge", 1.0)
+    result.add_point("latency", "Wasmedge", 2.0)
+    return result
+
+
+def test_figure_to_dict_and_json_round_trip(figure):
+    as_dict = figure_to_dict(figure)
+    assert as_dict["figure"] == "fig7"
+    assert as_dict["panels"]["latency"]["RoadRunner"] == [0.1, 0.2]
+    parsed = json.loads(figure_to_json(figure))
+    assert parsed == json.loads(json.dumps(as_dict))
+
+
+def test_figure_to_csv_long_form(figure):
+    rows = list(csv.reader(io.StringIO(figure_to_csv(figure))))
+    assert rows[0] == ["figure", "panel", "series", "MB", "value"]
+    assert ["fig7", "latency", "RoadRunner", "1", "0.1"] in rows
+    assert ["fig7", "latency", "Wasmedge", "10", "2.0"] in rows
+    assert len(rows) == 1 + 4
+
+
+def test_csv_detects_inconsistent_series(figure):
+    figure.add_point("latency", "RoadRunner", 0.3)  # third value for two x positions
+    with pytest.raises(ExportError):
+        figure_to_csv(figure)
+
+
+def test_write_figure_formats(tmp_path, figure):
+    for fmt in ("csv", "json", "txt"):
+        path = write_figure(figure, str(tmp_path / ("out." + fmt)), fmt=fmt)
+        with open(path, "r", encoding="utf-8") as handle:
+            content = handle.read()
+        assert content
+    with pytest.raises(ExportError):
+        write_figure(figure, str(tmp_path / "out.xml"), fmt="xml")

@@ -1,0 +1,62 @@
+"""Tests for the timeline / Chrome-trace export."""
+
+import json
+
+import pytest
+
+from repro.experiments.environment import build_pair_setup
+from repro.metrics.timeline import (
+    TimelineError,
+    charges_to_spans,
+    export_chrome_trace,
+    ledger_to_spans,
+    spans_to_chrome_trace,
+)
+from repro.sim.ledger import CostCategory, CostLedger, CpuDomain
+from repro.workloads.generators import make_payload
+
+
+def _ledger_with_charges():
+    ledger = CostLedger(name="demo")
+    ledger.charge(CostCategory.SERIALIZATION, 0.2, label="serialize")
+    ledger.charge(CostCategory.NETWORK, 1.0, cpu_domain=CpuDomain.NONE, nbytes=100, label="wire")
+    ledger.charge(CostCategory.SYSCALL, 1e-6, cpu_domain=CpuDomain.KERNEL, units=4)
+    return ledger
+
+
+def test_spans_reflect_charges_in_order():
+    ledger = _ledger_with_charges()
+    spans = ledger_to_spans(ledger)
+    assert len(spans) == 3
+    assert spans[0]["category"] == "serialization"
+    assert spans[1]["start_s"] == pytest.approx(0.2)
+    assert spans[2]["units"] == 4
+
+
+def test_minimum_duration_filters_noise():
+    ledger = _ledger_with_charges()
+    spans = ledger_to_spans(ledger, minimum_seconds=0.1)
+    assert {span["category"] for span in spans} == {"serialization", "network"}
+    with pytest.raises(TimelineError):
+        charges_to_spans(ledger.charges, minimum_seconds=-1)
+
+
+def test_chrome_trace_is_valid_json_with_one_event_per_span():
+    ledger = _ledger_with_charges()
+    trace = json.loads(spans_to_chrome_trace(ledger_to_spans(ledger)))
+    events = trace["traceEvents"]
+    assert events[0]["ph"] == "M"  # process metadata
+    complete_events = [event for event in events if event["ph"] == "X"]
+    assert len(complete_events) == 3
+    assert all(event["dur"] > 0 for event in complete_events)
+
+
+def test_export_chrome_trace_for_a_real_transfer(tmp_path):
+    setup = build_pair_setup("wasmedge-http", materialize=False)
+    setup.channel.transfer(setup.source, setup.target, make_payload(10))
+    path = export_chrome_trace(setup.cluster.ledger, str(tmp_path / "trace.json"))
+    with open(path, "r", encoding="utf-8") as handle:
+        trace = json.load(handle)
+    names = {event["name"] for event in trace["traceEvents"] if event["ph"] == "X"}
+    assert any("serialize" in name for name in names)
+    assert any("wire" in name or "network" in str(name) for name in names)

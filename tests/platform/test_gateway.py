@@ -1,0 +1,100 @@
+"""Tests for the ingress gateway / load balancer."""
+
+import pytest
+
+from repro.core.router import RoadrunnerChannel
+from repro.payload import Payload
+from repro.platform.cluster import Cluster
+from repro.platform.function import FunctionSpec
+from repro.platform.gateway import GatewayError, IngressGateway, RoutingPolicy
+from repro.platform.orchestrator import Orchestrator
+from repro.sim.ledger import CostCategory
+from repro.wasm.runtime import RuntimeKind
+
+
+def _gateway(policy=RoutingPolicy.ROUND_ROBIN, nodes=1):
+    cluster = Cluster.single_node() if nodes == 1 else Cluster.edge_cloud_pair()
+    orchestrator = Orchestrator(cluster)
+    return cluster, orchestrator, IngressGateway(orchestrator, policy=policy)
+
+
+def _spec(name="worker"):
+    return FunctionSpec(name, runtime=RuntimeKind.ROADRUNNER, workflow="wf")
+
+
+def test_register_deploys_replicas_and_charges_cold_start():
+    cluster, orchestrator, gateway = _gateway()
+    replicas = gateway.register(_spec(), replicas=3)
+    assert len(replicas) == 3
+    assert len(gateway.replicas("worker")) == 3
+    assert cluster.ledger.seconds(CostCategory.COLD_START) > 0
+    assert {r.name for r in replicas} == {"worker-r0", "worker-r1", "worker-r2"}
+
+
+def test_round_robin_spreads_requests_evenly():
+    _, _, gateway = _gateway()
+    gateway.register(_spec(), replicas=3, charge_cold_start=False)
+    for _ in range(9):
+        chosen = gateway.route("worker")
+        gateway.release("worker", chosen)
+    assert set(gateway.served_per_replica("worker").values()) == {3}
+    assert gateway.requests_routed == 9
+
+
+def test_least_loaded_prefers_idle_replicas():
+    _, _, gateway = _gateway(policy=RoutingPolicy.LEAST_LOADED)
+    gateway.register(_spec(), replicas=2, charge_cold_start=False)
+    first = gateway.route("worker")   # stays in flight
+    second = gateway.route("worker")
+    assert second is not first
+    gateway.release("worker", first)
+    third = gateway.route("worker")
+    assert third is first  # the released replica is now least loaded
+
+
+def test_routing_charges_ingress_overhead():
+    cluster, _, gateway = _gateway()
+    gateway.register(_spec(), replicas=1, charge_cold_start=False)
+    before = cluster.ledger.seconds(CostCategory.HTTP)
+    gateway.route("worker")
+    assert cluster.ledger.seconds(CostCategory.HTTP) > before
+
+
+def test_scale_to_grows_but_never_shrinks():
+    _, _, gateway = _gateway()
+    gateway.register(_spec(), replicas=1, charge_cold_start=False)
+    gateway.scale_to(_spec(), 4)
+    assert len(gateway.replicas("worker")) == 4
+    gateway.scale_to(_spec(), 2)
+    assert len(gateway.replicas("worker")) == 4
+
+
+def test_errors_for_unknown_functions_and_replicas():
+    _, _, gateway = _gateway()
+    with pytest.raises(GatewayError):
+        gateway.route("ghost")
+    with pytest.raises(GatewayError):
+        gateway.register(_spec(), replicas=0)
+    gateway.register(_spec(), replicas=1, charge_cold_start=False)
+    other_cluster, other_orchestrator, other_gateway = _gateway()
+    other_replica = other_gateway.register(_spec("other"), replicas=1, charge_cold_start=False)[0]
+    with pytest.raises(GatewayError):
+        gateway.release("worker", other_replica)
+
+
+def test_routed_replica_can_receive_data_through_roadrunner():
+    cluster, orchestrator, gateway = _gateway()
+    source = orchestrator.deploy(
+        FunctionSpec("ingest", runtime=RuntimeKind.ROADRUNNER, workflow="wf"),
+        "node-a",
+        share_vm_key="wf",
+        materialize=True,
+    )
+    gateway.register(_spec(), replicas=2, node_name="node-a", share_vm_key="wf",
+                     charge_cold_start=False)
+    channel = RoadrunnerChannel(cluster)
+    payload = Payload.random(32 * 1024, seed=55)
+    target = gateway.route("worker")
+    outcome = channel.transfer(source, target, payload)
+    payload.require_match(outcome.delivered)
+    gateway.release("worker", target)

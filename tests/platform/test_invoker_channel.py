@@ -1,0 +1,94 @@
+"""Tests for the channel interface contract and the workflow invoker."""
+
+import pytest
+
+from repro.core.kernel_space import KernelSpaceChannel
+from repro.core.user_space import UserSpaceChannel
+from repro.payload import Payload
+from repro.platform.channel import ChannelError, DataPassingChannel, TransferOutcome
+from repro.platform.invoker import Invoker, InvokerError
+from repro.platform.workflow import FanOutWorkflow, SequenceWorkflow
+from repro.platform.cluster import Cluster
+from repro.platform.function import FunctionSpec
+from repro.platform.orchestrator import Orchestrator
+from repro.wasm.runtime import RuntimeKind
+
+
+class _CorruptingChannel(UserSpaceChannel):
+    """A channel that silently delivers the wrong bytes (must be caught)."""
+
+    mode = "corrupting"
+
+    def _move(self, source, target, payload):
+        super()._move(source, target, payload)
+        return Payload.from_bytes(b"not the payload you sent")
+
+
+def test_transfer_outcome_integrity_check_catches_corruption(shared_vm_pair):
+    cluster, _, (a, b) = shared_vm_pair
+    channel = _CorruptingChannel(cluster)
+    with pytest.raises(Exception):
+        channel.transfer(a, b, Payload.random(1024))
+
+
+def test_sequential_workflow_chains_edges(shared_vm_pair):
+    cluster, orchestrator, (a, b) = shared_vm_pair
+    invoker = Invoker(orchestrator, UserSpaceChannel(cluster))
+    payload = Payload.random(32 * 1024, seed=9)
+    result = invoker.invoke(SequenceWorkflow(["fn-a", "fn-b"]), payload)
+    assert result.branches == 1
+    assert set(result.outcomes) == {"fn-a->fn-b"}
+    assert result.total_latency_s > 0
+    assert result.aggregate.payload_bytes == payload.size
+    payload.require_match(result.outcomes["fn-a->fn-b"].delivered)
+
+
+def test_longer_sequence_sums_latencies():
+    cluster = Cluster.single_node()
+    orchestrator = Orchestrator(cluster)
+    specs = [
+        FunctionSpec(name, runtime=RuntimeKind.ROADRUNNER, workflow="wf")
+        for name in ("s1", "s2", "s3")
+    ]
+    orchestrator.deploy_all(specs, share_vm_key="wf", materialize=True)
+    invoker = Invoker(orchestrator, UserSpaceChannel(cluster))
+    result = invoker.invoke(SequenceWorkflow(["s1", "s2", "s3"]), Payload.random(16 * 1024))
+    assert len(result.outcomes) == 2
+    per_edge = [o.metrics.total_latency_s for o in result.outcomes.values()]
+    assert result.total_latency_s == pytest.approx(sum(per_edge))
+
+
+def test_fanout_workflow_runs_every_branch():
+    cluster = Cluster.single_node()
+    orchestrator = Orchestrator(cluster)
+    degree = 5
+    specs = [FunctionSpec("src", runtime=RuntimeKind.ROADRUNNER, workflow="wf")] + [
+        FunctionSpec("dst-%d" % i, runtime=RuntimeKind.ROADRUNNER, workflow="wf")
+        for i in range(degree)
+    ]
+    orchestrator.deploy_all(specs, materialize=True)
+    channel = KernelSpaceChannel(cluster)
+    invoker = Invoker(orchestrator, channel)
+    workflow = FanOutWorkflow("src", ["dst-%d" % i for i in range(degree)])
+    result = invoker.invoke(workflow, Payload.random(8 * 1024))
+    assert result.branches == degree
+    assert len(result.outcomes) == degree
+    # The makespan of overlapped branches is below the sum of branch times.
+    branch_sum = sum(o.metrics.total_latency_s for o in result.outcomes.values())
+    assert result.total_latency_s < branch_sum
+    assert result.mean_branch_latency_s <= result.total_latency_s
+    assert result.throughput_rps == pytest.approx(degree / result.total_latency_s)
+
+
+def test_invoker_rejects_undeployed_functions(shared_vm_pair):
+    cluster, orchestrator, _ = shared_vm_pair
+    invoker = Invoker(orchestrator, UserSpaceChannel(cluster))
+    with pytest.raises(InvokerError):
+        invoker.invoke(SequenceWorkflow(["fn-a", "ghost"]), Payload.random(64))
+
+
+def test_channel_refuses_unsupported_placement_with_clear_error(remote_vm_pair):
+    cluster, orchestrator, _ = remote_vm_pair
+    invoker = Invoker(orchestrator, UserSpaceChannel(cluster))
+    with pytest.raises(ChannelError):
+        invoker.invoke(SequenceWorkflow(["fn-a", "fn-b"]), Payload.random(64))

@@ -1,0 +1,90 @@
+"""Tests for the dynamic runtime selector (future-work extension)."""
+
+import pytest
+
+from repro.platform.runtime_selector import (
+    DataPassingMode,
+    RuntimeSelector,
+    SelectorError,
+    WorkflowProfile,
+)
+from repro.wasm.runtime import RuntimeKind
+
+MB = 1024 * 1024
+
+
+def test_profile_validation():
+    with pytest.raises(SelectorError):
+        WorkflowProfile(payload_bytes=0)
+    with pytest.raises(SelectorError):
+        WorkflowProfile(payload_bytes=1, invocations_per_second=0)
+    with pytest.raises(SelectorError):
+        WorkflowProfile(payload_bytes=1, hops=0)
+    with pytest.raises(SelectorError):
+        WorkflowProfile(payload_bytes=1, cold_start_fraction=1.5)
+
+
+def test_evaluate_lists_colocatable_candidates():
+    selector = RuntimeSelector()
+    candidates = selector.evaluate(WorkflowProfile(payload_bytes=10 * MB))
+    assert {"runc+http", "wasm+http", "wasm+roadrunner-user", "wasm+roadrunner-kernel"} <= set(
+        candidates
+    )
+    assert all(value > 0 for value in candidates.values())
+
+
+def test_large_colocatable_payloads_prefer_user_space_roadrunner():
+    recommendation = RuntimeSelector().recommend(
+        WorkflowProfile(payload_bytes=100 * MB, colocatable=True)
+    )
+    assert recommendation.runtime is RuntimeKind.ROADRUNNER
+    assert recommendation.data_passing is DataPassingMode.ROADRUNNER_USER
+
+
+def test_remote_workflows_get_the_network_mode():
+    recommendation = RuntimeSelector().recommend(
+        WorkflowProfile(payload_bytes=50 * MB, colocatable=False)
+    )
+    assert recommendation.data_passing is DataPassingMode.ROADRUNNER_NETWORK
+    assert "wasm+roadrunner-network" in recommendation.per_candidate_latency_s
+    assert "wasm+roadrunner-user" not in recommendation.per_candidate_latency_s
+
+
+def test_frequent_cold_starts_penalise_containers():
+    selector = RuntimeSelector()
+    cold_heavy = selector.evaluate(
+        WorkflowProfile(payload_bytes=1 * MB, cold_start_fraction=0.9)
+    )
+    warm = selector.evaluate(WorkflowProfile(payload_bytes=1 * MB, cold_start_fraction=0.0))
+    # Cold starts add far more to the container candidate than to Wasm ones.
+    container_penalty = cold_heavy["runc+http"] - warm["runc+http"]
+    wasm_penalty = cold_heavy["wasm+roadrunner-user"] - warm["wasm+roadrunner-user"]
+    assert container_penalty > 5 * wasm_penalty
+    recommendation = selector.recommend(
+        WorkflowProfile(payload_bytes=1 * MB, cold_start_fraction=0.9)
+    )
+    assert recommendation.runtime is not RuntimeKind.RUNC
+
+
+def test_wasm_http_is_never_recommended_when_roadrunner_is_available():
+    # With Roadrunner available, plain Wasm+HTTP is dominated at every size.
+    for size in (1, 10, 100):
+        recommendation = RuntimeSelector().recommend(WorkflowProfile(payload_bytes=size * MB))
+        assert recommendation.per_candidate_latency_s["wasm+http"] > recommendation.estimated_latency_s
+        assert recommendation.runtime is not RuntimeKind.WASMEDGE
+
+
+def test_rationale_mentions_the_winner():
+    recommendation = RuntimeSelector().recommend(WorkflowProfile(payload_bytes=20 * MB))
+    assert "cheaper than" in recommendation.rationale
+    assert recommendation.estimated_latency_s == min(
+        recommendation.per_candidate_latency_s.values()
+    )
+
+
+def test_estimates_scale_with_hops():
+    selector = RuntimeSelector()
+    one_hop = selector.evaluate(WorkflowProfile(payload_bytes=10 * MB, hops=1))
+    three_hops = selector.evaluate(WorkflowProfile(payload_bytes=10 * MB, hops=3))
+    for name in one_hop:
+        assert three_hops[name] > one_hop[name]

@@ -1,0 +1,69 @@
+"""Property-based tests for linear memory and the allocator (hypothesis)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.payload import Payload
+from repro.sim.costs import WASM_PAGE_SIZE
+from repro.wasm.linear_memory import LinearMemory
+
+
+@given(chunks=st.lists(st.binary(min_size=1, max_size=512), min_size=1, max_size=20))
+def test_stored_payloads_never_interfere(chunks):
+    """Writing many payloads leaves every one of them readable and intact."""
+    memory = LinearMemory(initial_pages=2, max_pages=256)
+    addresses = []
+    for chunk in chunks:
+        payload = Payload.from_bytes(chunk)
+        addresses.append((memory.store_payload(payload), payload))
+    for address, payload in addresses:
+        stored = memory.read_payload(address, payload.size)
+        assert stored.data == payload.data
+
+
+@given(sizes=st.lists(st.integers(min_value=1, max_value=8192), min_size=1, max_size=30))
+def test_allocations_are_disjoint(sizes):
+    memory = LinearMemory(initial_pages=1, max_pages=4096)
+    regions = []
+    for size in sizes:
+        address = memory.allocate(size)
+        regions.append((address, size))
+    regions.sort()
+    for (a_start, a_len), (b_start, _) in zip(regions, regions[1:]):
+        assert a_start + a_len <= b_start
+    assert memory.allocated_bytes == sum(sizes)
+
+
+@given(
+    sizes=st.lists(st.integers(min_value=1, max_value=4096), min_size=2, max_size=20),
+    data=st.data(),
+)
+@settings(max_examples=50)
+def test_free_then_reuse_never_loses_live_data(sizes, data):
+    """Freeing some allocations never corrupts the ones still live."""
+    memory = LinearMemory(initial_pages=1, max_pages=4096)
+    live = {}
+    for i, size in enumerate(sizes):
+        payload = Payload.random(size, seed=i)
+        address = memory.store_payload(payload)
+        live[address] = payload
+    to_free = data.draw(
+        st.lists(st.sampled_from(sorted(live)), unique=True, max_size=len(live) // 2)
+    )
+    for address in to_free:
+        memory.deallocate(address)
+        del live[address]
+    # Allocate a few more on top of the freed holes.
+    for i in range(3):
+        payload = Payload.random(64, seed=1000 + i)
+        live[memory.store_payload(payload)] = payload
+    for address, payload in live.items():
+        assert memory.read_payload(address, payload.size).data == payload.data
+
+
+@given(pages=st.integers(min_value=1, max_value=16), delta=st.integers(min_value=0, max_value=16))
+def test_grow_accumulates_pages(pages, delta):
+    memory = LinearMemory(initial_pages=pages, max_pages=64)
+    memory.grow(delta)
+    assert memory.pages == pages + delta
+    assert memory.size_bytes == (pages + delta) * WASM_PAGE_SIZE

@@ -1,0 +1,45 @@
+"""Functional and modeled payloads must be charged (almost) identically.
+
+The same channel code path serves real payloads (tests/examples) and virtual
+payloads (large benchmark sweeps).  If the two modes drifted apart, the
+benchmark results would no longer describe the functional system.  The only
+acceptable difference is the serialized representation: real payloads go
+through an actual codec (tiny framing overhead) while virtual ones use the
+cost model's inflation factor, so the comparison allows a small tolerance on
+the baseline channels and demands near-exact equality for Roadrunner.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.experiments.environment import build_pair_setup
+from repro.payload import Payload
+
+
+def _latency(mode: str, payload: Payload) -> float:
+    setup = build_pair_setup(mode, internode=False, materialize=True)
+    outcome = setup.channel.transfer(setup.source, setup.target, payload)
+    return outcome.metrics.total_latency_s
+
+
+@given(size_kb=st.integers(min_value=16, max_value=512))
+@settings(max_examples=10, deadline=None)
+def test_roadrunner_modes_charge_real_and_virtual_payloads_identically(size_kb):
+    size = size_kb * 1024
+    real = Payload.random(size, seed=size_kb)
+    virtual = Payload.virtual(size)
+    for mode in ("roadrunner-user", "roadrunner-kernel"):
+        assert _latency(mode, real) == pytest.approx(_latency(mode, virtual), rel=1e-9)
+
+
+@given(size_kb=st.integers(min_value=64, max_value=512))
+@settings(max_examples=8, deadline=None)
+def test_baseline_modes_stay_within_codec_framing_tolerance(size_kb):
+    size = size_kb * 1024
+    real = Payload.random(size, seed=size_kb)
+    virtual = Payload.virtual(size)
+    for mode in ("runc-http", "wasmedge-http"):
+        real_latency = _latency(mode, real)
+        virtual_latency = _latency(mode, virtual)
+        assert virtual_latency == pytest.approx(real_latency, rel=0.15)

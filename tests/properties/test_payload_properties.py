@@ -1,0 +1,70 @@
+"""Property-based tests for payloads and codecs (hypothesis)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.payload import Payload
+from repro.serialization.codec import BinaryFrameCodec, StringCodec
+
+payload_bytes = st.binary(min_size=1, max_size=4096)
+
+
+@given(data=payload_bytes)
+def test_from_bytes_round_trips_size_and_content(data):
+    payload = Payload.from_bytes(data)
+    assert payload.size == len(data)
+    assert payload.data == data
+    assert payload.matches(payload.copy())
+
+
+@given(data=payload_bytes)
+def test_fingerprint_is_content_addressed(data):
+    assert Payload.from_bytes(data).fingerprint == Payload.from_bytes(bytes(data)).fingerprint
+
+
+@given(first=payload_bytes, second=payload_bytes)
+def test_distinct_content_never_matches(first, second):
+    a, b = Payload.from_bytes(first), Payload.from_bytes(second)
+    assert a.matches(b) == (first == second)
+
+
+@given(size=st.integers(min_value=1, max_value=1 << 32), extra=st.integers(min_value=0, max_value=1 << 20))
+def test_with_size_preserves_origin_for_any_sizes(size, extra):
+    original = Payload.virtual(size)
+    derived = original.with_size(size + extra)
+    assert derived.size == size + extra
+    assert original.matches(derived)
+
+
+@given(data=payload_bytes)
+def test_string_codec_round_trip_property(data):
+    codec = StringCodec()
+    decoded = codec.decode(codec.encode(Payload.from_bytes(data)))
+    assert decoded.data == data
+
+
+@given(data=payload_bytes)
+def test_binary_codec_round_trip_and_size_bound(data):
+    codec = BinaryFrameCodec()
+    payload = Payload.from_bytes(data)
+    encoded = codec.encode(payload)
+    assert codec.decode(encoded).data == data
+    # Framing overhead is bounded and independent of the body size.
+    assert len(encoded) <= len(data) + 128
+
+
+@given(data=payload_bytes, flip=st.integers(min_value=0, max_value=4095))
+@settings(max_examples=25)
+def test_binary_codec_detects_any_single_byte_corruption_of_the_body(data, flip):
+    codec = BinaryFrameCodec()
+    encoded = bytearray(codec.encode(Payload.from_bytes(data)))
+    body_start = len(encoded) - len(data) - 4
+    index = body_start + (flip % len(data))
+    encoded[index] ^= 0xFF
+    try:
+        decoded = codec.decode(bytes(encoded))
+    except Exception:
+        return  # corruption detected via CRC or framing
+    # If decoding "succeeded", the corruption must not have silently produced
+    # the original bytes.
+    assert decoded.data != data

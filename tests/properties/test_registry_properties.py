@@ -1,0 +1,54 @@
+"""Property-based tests for the memory-region registry and the event loop."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import pytest
+
+from repro.core.registry import MemoryRegionRegistry, RegistryError
+from repro.sim.engine import EventLoop
+
+regions_strategy = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=1 << 20),   # address
+        st.integers(min_value=1, max_value=1 << 16),   # length
+    ),
+    min_size=1,
+    max_size=20,
+)
+
+
+@given(regions=regions_strategy, probe=st.data())
+@settings(max_examples=50)
+def test_access_inside_any_registered_region_is_granted(regions, probe):
+    registry = MemoryRegionRegistry()
+    for address, length in regions:
+        registry.register("fn", address, length)
+    address, length = probe.draw(st.sampled_from(regions))
+    offset = probe.draw(st.integers(min_value=0, max_value=length - 1))
+    span = probe.draw(st.integers(min_value=1, max_value=length - offset))
+    found = registry.validate_access("fn", address + offset, span)
+    assert found.contains(address + offset, span)
+
+
+@given(regions=regions_strategy)
+@settings(max_examples=50)
+def test_access_beyond_every_region_is_refused(regions):
+    registry = MemoryRegionRegistry()
+    for address, length in regions:
+        registry.register("fn", address, length)
+    beyond = max(address + length for address, length in regions)
+    with pytest.raises(RegistryError):
+        registry.validate_access("fn", beyond + 1, 1)
+
+
+@given(delays=st.lists(st.floats(min_value=0.0, max_value=100.0, allow_nan=False), min_size=1, max_size=50))
+def test_event_loop_executes_every_event_in_nondecreasing_time(delays):
+    loop = EventLoop()
+    fired_times = []
+    for delay in delays:
+        loop.schedule(delay, (lambda d=delay: fired_times.append(loop.now)))
+    loop.run()
+    assert len(fired_times) == len(delays)
+    assert fired_times == sorted(fired_times)
+    assert loop.now == pytest.approx(max(delays))

@@ -1,0 +1,159 @@
+"""Unit tests for Wasm linear memory: bounds, growth, allocator, payloads."""
+
+import pytest
+
+from repro.payload import Payload, PayloadError
+from repro.sim.costs import WASM_PAGE_SIZE
+from repro.sim.ledger import MemoryMeter
+from repro.wasm.linear_memory import (
+    AllocationError,
+    LinearMemory,
+    MemoryAccessError,
+    OutOfMemoryError,
+)
+
+
+def test_initial_geometry():
+    memory = LinearMemory(initial_pages=2)
+    assert memory.pages == 2
+    assert memory.size_bytes == 2 * WASM_PAGE_SIZE
+    assert memory.materialized
+
+
+def test_raw_read_write_round_trip():
+    memory = LinearMemory()
+    memory.write(100, b"roadrunner")
+    assert memory.read(100, 10) == b"roadrunner"
+
+
+def test_out_of_bounds_access_traps():
+    memory = LinearMemory(initial_pages=1)
+    with pytest.raises(MemoryAccessError):
+        memory.read(WASM_PAGE_SIZE - 4, 8)
+    with pytest.raises(MemoryAccessError):
+        memory.write(WASM_PAGE_SIZE, b"x")
+    with pytest.raises(MemoryAccessError):
+        memory.read(-1, 4)
+
+
+def test_grow_extends_bounds():
+    memory = LinearMemory(initial_pages=1, max_pages=4)
+    previous = memory.grow(2)
+    assert previous == 1
+    assert memory.pages == 3
+    memory.write(2 * WASM_PAGE_SIZE, b"hello")
+    assert memory.read(2 * WASM_PAGE_SIZE, 5) == b"hello"
+
+
+def test_grow_beyond_max_pages_fails():
+    memory = LinearMemory(initial_pages=1, max_pages=2)
+    with pytest.raises(OutOfMemoryError):
+        memory.grow(5)
+
+
+def test_allocator_returns_disjoint_regions():
+    memory = LinearMemory()
+    a = memory.allocate(1000)
+    b = memory.allocate(1000)
+    assert a != b
+    assert abs(b - a) >= 1000
+    assert memory.allocated_bytes == 2000
+    assert memory.live_allocations == 2
+
+
+def test_allocation_grows_memory_on_demand():
+    memory = LinearMemory(initial_pages=1, max_pages=64)
+    address = memory.allocate(3 * WASM_PAGE_SIZE)
+    assert memory.pages > 1
+    assert memory.allocation_size(address) == 3 * WASM_PAGE_SIZE
+
+
+def test_deallocate_and_reuse_via_free_list():
+    memory = LinearMemory()
+    address = memory.allocate(500)
+    memory.deallocate(address)
+    again = memory.allocate(400)
+    assert again == address  # first fit reuses the freed block
+
+
+def test_double_free_rejected():
+    memory = LinearMemory()
+    address = memory.allocate(10)
+    memory.deallocate(address)
+    with pytest.raises(AllocationError):
+        memory.deallocate(address)
+
+
+def test_invalid_allocation_sizes_rejected():
+    memory = LinearMemory()
+    with pytest.raises(AllocationError):
+        memory.allocate(0)
+    with pytest.raises(AllocationError):
+        memory.allocation_size(12345)
+
+
+def test_payload_round_trip_preserves_bytes():
+    memory = LinearMemory()
+    payload = Payload.random(4096, seed=3)
+    address = memory.store_payload(payload)
+    restored = memory.read_payload(address, payload.size)
+    assert restored.data == payload.data
+    payload.require_match(restored)
+
+
+def test_payload_write_requires_allocation():
+    memory = LinearMemory()
+    with pytest.raises(MemoryAccessError):
+        memory.write_payload(128, Payload.random(64))
+
+
+def test_payload_larger_than_allocation_rejected():
+    memory = LinearMemory()
+    address = memory.allocate(10)
+    with pytest.raises(MemoryAccessError):
+        memory.write_payload(address, Payload.random(64))
+
+
+def test_read_payload_length_mismatch_rejected():
+    memory = LinearMemory()
+    address = memory.store_payload(Payload.random(100))
+    with pytest.raises(MemoryAccessError):
+        memory.read_payload(address, 50)
+
+
+def test_empty_payload_rejected():
+    memory = LinearMemory()
+    with pytest.raises(PayloadError):
+        memory.store_payload(Payload.from_bytes(b""))
+
+
+def test_modeled_memory_tracks_virtual_payloads_without_backing():
+    memory = LinearMemory(materialize=False, max_pages=1 << 20)
+    big = Payload.virtual(256 * 1024 * 1024)
+    address = memory.store_payload(big)
+    restored = memory.read_payload(address, big.size)
+    assert restored.is_virtual
+    big.require_match(restored)
+    with pytest.raises(MemoryAccessError):
+        memory.read(0, 16)  # raw access needs materialized backing
+
+
+def test_modeled_memory_meter_tracks_logical_allocations():
+    meter = MemoryMeter()
+    memory = LinearMemory(materialize=False, meter=meter, max_pages=1 << 20)
+    address = memory.allocate(10 * 1024 * 1024)
+    assert meter.peak_bytes == 10 * 1024 * 1024
+    memory.deallocate(address)
+    assert meter.current_bytes == 0
+
+
+def test_materialized_memory_meter_tracks_pages():
+    meter = MemoryMeter()
+    LinearMemory(initial_pages=4, meter=meter)
+    assert meter.peak_bytes == 4 * WASM_PAGE_SIZE
+
+
+def test_locate_returns_pointer_and_length():
+    memory = LinearMemory()
+    address = memory.store_payload(Payload.random(123))
+    assert memory.locate(address) == (address, 123)

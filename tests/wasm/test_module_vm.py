@@ -1,0 +1,118 @@
+"""Unit tests for Wasm modules, instances, VMs and the host memory API."""
+
+import pytest
+
+from repro.payload import Payload
+from repro.sim.ledger import CostCategory, CostLedger
+from repro.wasm.module import ModuleError, WasmModule
+from repro.wasm.vm import VmError, WasmVM
+
+
+@pytest.fixture
+def vm():
+    return WasmVM(name="vm-test", ledger=CostLedger())
+
+
+def test_module_validation():
+    with pytest.raises(ModuleError):
+        WasmModule(name="")
+    with pytest.raises(ModuleError):
+        WasmModule(name="m", binary_size=0)
+    with pytest.raises(ModuleError):
+        WasmModule(name="m", exports=())
+
+
+def test_passthrough_module_returns_input():
+    module = WasmModule.passthrough("echo")
+    payload = Payload.from_text("hello")
+    assert module.handler(payload) is payload
+
+
+def test_instantiate_creates_per_module_memory(vm):
+    a = vm.instantiate(WasmModule.passthrough("a"))
+    b = vm.instantiate(WasmModule.passthrough("b"))
+    assert a.memory is not b.memory
+    assert vm.instance("a") is a
+    assert len(vm.instances) == 2
+
+
+def test_duplicate_instantiation_rejected(vm):
+    vm.instantiate(WasmModule.passthrough("a"))
+    with pytest.raises(VmError):
+        vm.instantiate(WasmModule.passthrough("a"))
+
+
+def test_unknown_instance_lookup_rejected(vm):
+    with pytest.raises(VmError):
+        vm.instance("missing")
+
+
+def test_terminate_removes_instance(vm):
+    vm.instantiate(WasmModule.passthrough("a"))
+    vm.terminate("a")
+    with pytest.raises(VmError):
+        vm.instance("a")
+    with pytest.raises(VmError):
+        vm.terminate("a")
+
+
+def test_guest_input_output_flow(vm):
+    instance = vm.instantiate(WasmModule.passthrough("fn"))
+    payload = Payload.from_text("input data")
+    address = instance.memory.store_payload(payload)
+    instance.set_input(address)
+    result = instance.run_handler()
+    assert result.data == payload.data
+    assert instance.output_address is not None
+    stored = instance.memory.read_payload(instance.output_address, payload.size)
+    payload.require_match(stored)
+
+
+def test_run_handler_without_input_fails(vm):
+    instance = vm.instantiate(WasmModule.passthrough("fn"))
+    with pytest.raises(ModuleError):
+        instance.run_handler()
+
+
+def test_handlerless_module_cannot_run(vm):
+    instance = vm.instantiate(WasmModule(name="raw", handler=None))
+    instance.set_input(instance.memory.store_payload(Payload.random(16)))
+    with pytest.raises(ModuleError):
+        instance.run_handler()
+
+
+def test_exports_registration_and_call(vm):
+    instance = vm.instantiate(WasmModule.passthrough("fn"))
+    instance.register_export("handle", lambda x: x * 2)
+    assert instance.call_export("handle", 21) == 42
+    with pytest.raises(ModuleError):
+        instance.register_export("not-exported", lambda: None)
+    with pytest.raises(ModuleError):
+        instance.call_export("unregistered")
+
+
+def test_host_api_read_write_charges_wasm_io(vm):
+    instance = vm.instantiate(WasmModule.passthrough("fn"))
+    api = vm.host_api()
+    payload = Payload.random(8192)
+    before = vm.ledger.seconds(CostCategory.WASM_IO)
+    address = api.allocate_memory("fn", payload.size)
+    api.write_memory_host("fn", payload, address)
+    read_back = api.read_memory_host("fn", address, payload.size)
+    after = vm.ledger.seconds(CostCategory.WASM_IO)
+    payload.require_match(read_back)
+    assert after > before
+    assert vm.ledger.copied_bytes >= 2 * payload.size
+
+
+def test_host_api_locate_and_deallocate(vm):
+    instance = vm.instantiate(WasmModule.passthrough("fn"))
+    address = instance.memory.store_payload(Payload.random(100))
+    api = vm.host_api()
+    assert api.locate_memory_region("fn", address) == (address, 100)
+    assert api.deallocate_memory("fn", address) == 100
+
+
+def test_vm_charges_baseline_memory(vm):
+    # The VM itself occupies resident memory even before any payloads.
+    assert vm.meter.peak_bytes > 0
