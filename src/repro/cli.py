@@ -7,6 +7,8 @@ Commands
               print them, or export them to CSV/JSON files.
 ``claims``    evaluate the headline claims (paper vs measured) as a table.
 ``select``    run the dynamic runtime selector on a workflow profile.
+``traffic``   drive a sustained arrival stream (Poisson/bursty/diurnal) against
+              several runtimes with autoscaling and print the SLO report.
 """
 
 from __future__ import annotations
@@ -20,6 +22,15 @@ from repro.experiments.claims import evaluate_claims, render_claims
 from repro.experiments.runner import render_all, run_all
 from repro.metrics.export import write_figure
 from repro.platform.runtime_selector import RuntimeSelector, WorkflowProfile
+from repro.traffic.arrivals import BurstyArrivals, DiurnalArrivals, PoissonArrivals
+from repro.traffic.autoscaler import (
+    Autoscaler,
+    FixedReplicasPolicy,
+    NoScalingPolicy,
+    TargetConcurrencyPolicy,
+)
+from repro.traffic.engine import TRAFFIC_MODES, TrafficConfig, TrafficEngineError, run_comparison
+from repro.traffic.report import render_traffic_report
 
 
 def _cmd_figures(args: argparse.Namespace) -> int:
@@ -60,6 +71,83 @@ def _cmd_select(args: argparse.Namespace) -> int:
     return 0
 
 
+def _make_arrivals(args: argparse.Namespace):
+    if args.pattern == "poisson":
+        return PoissonArrivals(
+            rate_rps=args.rps,
+            duration_s=args.duration,
+            payload_mb=args.payload_mb,
+            seed=args.seed,
+        )
+    if args.pattern == "bursty":
+        return BurstyArrivals(
+            on_rate_rps=args.rps,
+            duration_s=args.duration,
+            on_s=args.burst_on,
+            off_s=args.burst_off,
+            payload_mb=args.payload_mb,
+            seed=args.seed,
+        )
+    return DiurnalArrivals(
+        peak_rps=args.rps,
+        trough_rps=min(args.rps, max(args.rps / 10.0, 0.1)),
+        duration_s=args.duration,
+        period_s=args.diurnal_period,
+        payload_mb=args.payload_mb,
+        seed=args.seed,
+    )
+
+
+def _make_policy(args: argparse.Namespace):
+    if args.policy == "target":
+        return TargetConcurrencyPolicy(args.target_concurrency)
+    if args.policy == "fixed":
+        return FixedReplicasPolicy(args.fixed_replicas)
+    return NoScalingPolicy()
+
+
+def _cmd_traffic(args: argparse.Namespace) -> int:
+    modes = [mode.strip() for mode in args.modes.split(",") if mode.strip()]
+    if not modes:
+        print("--modes needs at least one runtime (e.g. %s)" % TRAFFIC_MODES[0], file=sys.stderr)
+        return 2
+    unknown = [mode for mode in modes if mode not in TRAFFIC_MODES]
+    if unknown:
+        print(
+            "unknown mode(s) %s; choose from %s" % (", ".join(unknown), ", ".join(TRAFFIC_MODES)),
+            file=sys.stderr,
+        )
+        return 2
+    def autoscaler_factory() -> Autoscaler:
+        return Autoscaler(
+            _make_policy(args),
+            min_replicas=args.min_replicas,
+            max_replicas=args.max_replicas,
+            keep_alive_s=args.keep_alive,
+            control_interval_s=args.control_interval,
+        )
+
+    try:
+        requests = _make_arrivals(args).generate()
+        config = TrafficConfig(
+            nodes=args.nodes,
+            initial_replicas=args.initial_replicas,
+            queue_timeout_s=args.timeout,
+        )
+        results = run_comparison(
+            requests,
+            modes=modes,
+            autoscaler_factory=autoscaler_factory,
+            config=config,
+            pattern=args.pattern,
+        )
+    except (ValueError, TrafficEngineError) as exc:
+        print("invalid traffic parameters: %s" % exc, file=sys.stderr)
+        return 2
+    print(render_traffic_report(results))
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(prog="repro", description=__doc__)
     subparsers = parser.add_subparsers(dest="command", required=True)
@@ -82,6 +170,34 @@ def build_parser() -> argparse.ArgumentParser:
     select.add_argument("--cold-start-fraction", type=float, default=0.01)
     select.add_argument("--remote", action="store_true", help="stages cannot be colocated")
     select.set_defaults(handler=_cmd_select)
+
+    traffic = subparsers.add_parser(
+        "traffic", help="sustained arrival streams with autoscaling across runtimes"
+    )
+    traffic.add_argument("--pattern", choices=("poisson", "bursty", "diurnal"), default="poisson")
+    traffic.add_argument("--rps", type=float, default=50.0, help="arrival rate (peak rate for bursty/diurnal)")
+    traffic.add_argument("--duration", type=float, default=60.0, help="simulated seconds of arrivals")
+    traffic.add_argument("--payload-mb", type=float, default=1.0)
+    traffic.add_argument("--seed", type=int, default=0)
+    traffic.add_argument(
+        "--modes",
+        default="roadrunner-user,runc-http",
+        help="comma-separated runtimes to compare under the same arrivals",
+    )
+    traffic.add_argument("--policy", choices=("target", "fixed", "none"), default="target")
+    traffic.add_argument("--target-concurrency", type=float, default=1.0)
+    traffic.add_argument("--fixed-replicas", type=int, default=4)
+    traffic.add_argument("--min-replicas", type=int, default=1)
+    traffic.add_argument("--max-replicas", type=int, default=64)
+    traffic.add_argument("--keep-alive", type=float, default=30.0, help="idle seconds before scale-down")
+    traffic.add_argument("--control-interval", type=float, default=1.0, help="autoscaler tick period")
+    traffic.add_argument("--initial-replicas", type=int, default=1)
+    traffic.add_argument("--nodes", type=int, default=4)
+    traffic.add_argument("--timeout", type=float, default=30.0, help="queueing timeout per request")
+    traffic.add_argument("--burst-on", type=float, default=5.0, help="bursty: seconds per on-window")
+    traffic.add_argument("--burst-off", type=float, default=15.0, help="bursty: silent seconds between bursts")
+    traffic.add_argument("--diurnal-period", type=float, default=60.0, help="diurnal: seconds per cycle")
+    traffic.set_defaults(handler=_cmd_traffic)
     return parser
 
 

@@ -8,7 +8,8 @@ branches; the report module renders the tables the experiment harness prints.
 
 from repro.metrics.records import LedgerWindow, TransferMetrics
 from repro.metrics.collector import MetricsCollector, AggregateMetrics
-from repro.metrics.report import format_table, format_figure_result
+from repro.metrics.report import format_latency_summaries, format_table, format_figure_result
+from repro.metrics.stats import LatencySummary, mean, p50, p95, p99, percentile
 from repro.metrics.export import figure_to_csv, figure_to_dict, figure_to_json, write_figure
 from repro.metrics.timeline import export_chrome_trace, ledger_to_spans
 
@@ -19,8 +20,15 @@ __all__ = [
     "TransferMetrics",
     "MetricsCollector",
     "AggregateMetrics",
+    "LatencySummary",
+    "percentile",
+    "mean",
+    "p50",
+    "p95",
+    "p99",
     "format_table",
     "format_figure_result",
+    "format_latency_summaries",
     "figure_to_csv",
     "figure_to_dict",
     "figure_to_json",

@@ -9,6 +9,8 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, List, Mapping, Sequence, Union
 
+from repro.metrics.stats import LatencySummary
+
 Number = Union[int, float]
 
 
@@ -56,6 +58,26 @@ def format_figure_result(
             values = series[name]
             row.append(values[i] if i < len(values) else "")
         rows.append(row)
+    return format_table(headers, rows, title=title)
+
+
+def format_latency_summaries(
+    summaries: Mapping[str, LatencySummary],
+    title: str = "",
+    label: str = "series",
+    unit: str = "s",
+) -> str:
+    """Render one row of distribution statistics per labelled summary.
+
+    This is how every latency distribution in the reproduction is printed:
+    figure summaries, trace replays and the traffic engine's SLO tables all
+    share the same columns (count, mean, p50, p95, p99, max).
+    """
+    headers = [label, "count"] + ["%s (%s)" % (h, unit) for h in ("mean", "p50", "p95", "p99", "max")]
+    rows = [
+        [name, s.count, s.mean_s, s.p50_s, s.p95_s, s.p99_s, s.max_s]
+        for name, s in summaries.items()
+    ]
     return format_table(headers, rows, title=title)
 
 

@@ -7,13 +7,19 @@ gateway models that front door: it keeps a pool of replicas per function,
 routes each client request to one of them (round-robin or least-loaded),
 scales from zero by paying the runtime's cold-start cost, and charges the
 ingress routing overhead per request.
+
+The traffic engine (:mod:`repro.traffic`) drives the gateway under sustained
+load: :meth:`IngressGateway.route_among` is the admission hook that routes
+only to replicas the engine considers ready and under their concurrency
+limit, and :meth:`IngressGateway.remove_replica` is the scale-down hook the
+autoscaler uses to reclaim idle replicas after their keep-alive expires.
 """
 
 from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Sequence
 
 from repro.platform.deployment import DeployedFunction
 from repro.platform.function import FunctionSpec
@@ -55,7 +61,10 @@ class IngressGateway:
         self.policy = policy
         self._pools: Dict[str, List[_ReplicaState]] = {}
         self._round_robin_cursor: Dict[str, int] = {}
+        self._replica_serial: Dict[str, int] = {}
         self.requests_routed = 0
+        self.cold_starts = 0
+        self.scale_downs = 0
 
     # -- pool management ----------------------------------------------------------
 
@@ -73,9 +82,11 @@ class IngressGateway:
             raise GatewayError("unknown node %r" % node_name)
         pool = self._pools.setdefault(spec.name, [])
         deployed_replicas: List[DeployedFunction] = []
-        for index in range(replicas):
-            replica_spec = spec.renamed("%s-r%d" % (spec.name, len(pool) + index))
-            target_node = node_name or nodes[(len(pool) + index) % len(nodes)]
+        for _ in range(replicas):
+            serial = self._replica_serial.get(spec.name, 0)
+            self._replica_serial[spec.name] = serial + 1
+            replica_spec = spec.renamed("%s-r%d" % (spec.name, serial))
+            target_node = node_name or nodes[serial % len(nodes)]
             deployed = self.orchestrator.deploy(
                 replica_spec,
                 target_node,
@@ -84,6 +95,8 @@ class IngressGateway:
                 charge_cold_start=charge_cold_start,
             )
             deployed_replicas.append(deployed)
+            if charge_cold_start:
+                self.cold_starts += 1
         pool.extend(_ReplicaState(deployed=replica) for replica in deployed_replicas)
         self._round_robin_cursor.setdefault(spec.name, 0)
         return deployed_replicas
@@ -92,22 +105,78 @@ class IngressGateway:
         return [state.deployed for state in self._require_pool(function)]
 
     def scale_to(self, spec: FunctionSpec, replicas: int) -> None:
-        """Grow the pool to ``replicas`` instances (no scale-down modelled)."""
+        """Grow the pool to ``replicas`` instances.
+
+        Scale-down is a separate, per-replica operation
+        (:meth:`remove_replica`) because only the caller knows which replicas
+        are idle and safe to reclaim.
+        """
         current = len(self._pools.get(spec.name, []))
         if replicas > current:
             self.register(spec, replicas=replicas - current)
+
+    def remove_replica(self, function: str, deployed: DeployedFunction) -> None:
+        """Reclaim one replica (autoscaler keep-alive expiry).
+
+        The replica must be idle: reclaiming a replica with requests in
+        flight would strand them.
+        """
+        pool = self._require_pool(function)
+        for index, state in enumerate(pool):
+            if state.deployed is deployed:
+                if state.in_flight > 0:
+                    raise GatewayError(
+                        "replica %r has %d requests in flight; drain before removal"
+                        % (deployed.name, state.in_flight)
+                    )
+                del pool[index]
+                self.orchestrator.undeploy(deployed.name)
+                self.scale_downs += 1
+                return
+        raise GatewayError("replica %r does not belong to function %r" % (deployed.name, function))
 
     # -- routing --------------------------------------------------------------------
 
     def route(self, function: str) -> DeployedFunction:
         """Pick a replica for one request and charge the ingress overhead."""
+        return self.route_among(function, None)
+
+    def route_among(
+        self,
+        function: str,
+        eligible: Optional[Sequence[DeployedFunction]],
+    ) -> DeployedFunction:
+        """Admission hook: route one request over a subset of the pool.
+
+        ``eligible`` restricts the choice to replicas the caller considers
+        available (warmed up, under their concurrency limit); ``None`` means
+        the whole pool.  The routing policy applies within the subset, and
+        the per-request ingress overhead is charged either way.
+        """
         pool = self._require_pool(function)
-        if self.policy is RoutingPolicy.ROUND_ROBIN:
-            cursor = self._round_robin_cursor[function]
-            state = pool[cursor % len(pool)]
-            self._round_robin_cursor[function] = cursor + 1
+        if eligible is None:
+            candidates = pool
         else:
-            state = min(pool, key=lambda replica: replica.in_flight)
+            wanted = {id(deployed) for deployed in eligible}
+            candidates = [state for state in pool if id(state.deployed) in wanted]
+            if not candidates:
+                raise GatewayError("no eligible replicas for function %r" % function)
+        if self.policy is RoutingPolicy.ROUND_ROBIN:
+            # The cursor walks the *pool* and skips ineligible members, so
+            # rotation order is stable even when the eligible subset changes
+            # between requests (indexing the cursor into a changing subset
+            # would not be round-robin at all).
+            cursor = self._round_robin_cursor[function]
+            eligible_ids = {id(state) for state in candidates}
+            state = candidates[0]
+            for offset in range(len(pool)):
+                probe = pool[(cursor + offset) % len(pool)]
+                if id(probe) in eligible_ids:
+                    state = probe
+                    self._round_robin_cursor[function] = cursor + offset + 1
+                    break
+        else:
+            state = min(candidates, key=lambda replica: replica.in_flight)
         state.in_flight += 1
         state.served += 1
         self.requests_routed += 1
@@ -130,6 +199,16 @@ class IngressGateway:
 
     def served_per_replica(self, function: str) -> Dict[str, int]:
         return {state.deployed.name: state.served for state in self._require_pool(function)}
+
+    def in_flight(self, function: str) -> Dict[str, int]:
+        """Requests currently executing per replica (autoscaler load sample)."""
+        return {state.deployed.name: state.in_flight for state in self._require_pool(function)}
+
+    def total_in_flight(self, function: str) -> int:
+        return sum(state.in_flight for state in self._require_pool(function))
+
+    def pool_size(self, function: str) -> int:
+        return len(self._pools.get(function, []))
 
     def _require_pool(self, function: str) -> List[_ReplicaState]:
         if function not in self._pools or not self._pools[function]:

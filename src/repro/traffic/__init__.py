@@ -1,0 +1,80 @@
+"""Traffic: sustained multi-client load over the Roadrunner platform.
+
+The paper's evaluation measures individual transfers; this subsystem
+measures the platform under *sustained* load, the regime the ROADMAP's
+"heavy traffic from millions of users" north star cares about:
+
+* :mod:`repro.traffic.arrivals` — seeded Poisson / bursty / diurnal /
+  trace-driven arrival processes producing timestamped request streams;
+* :mod:`repro.traffic.engine` — a discrete-event engine that admits
+  requests through the :class:`~repro.platform.gateway.IngressGateway`,
+  queues them while replicas are busy or cold-starting, and executes them
+  with bounded per-replica and per-node concurrency;
+* :mod:`repro.traffic.autoscaler` — a control loop (target-concurrency /
+  fixed / none policies) that grows replica pools by paying each runtime's
+  modelled cold start and reclaims replicas idle past their keep-alive;
+* :mod:`repro.traffic.slo` — per-request accounting rolled into p50/p95/p99
+  latency, queueing delay, timeout/drop counts and goodput;
+* :mod:`repro.traffic.report` — the plain-text report
+  ``python -m repro traffic`` prints.
+
+This opens a scenario axis the paper never swept: load level x arrival
+pattern x runtime, under identical seeded arrival streams.
+"""
+
+from repro.traffic.arrivals import (
+    ArrivalError,
+    ArrivalProcess,
+    BurstyArrivals,
+    DiurnalArrivals,
+    PoissonArrivals,
+    Request,
+    TraceArrivals,
+)
+from repro.traffic.autoscaler import (
+    Autoscaler,
+    AutoscalerError,
+    FixedReplicasPolicy,
+    LoadSample,
+    NoScalingPolicy,
+    ScalingDecision,
+    ScalingPolicy,
+    TargetConcurrencyPolicy,
+)
+from repro.traffic.engine import (
+    TRAFFIC_MODES,
+    TrafficConfig,
+    TrafficEngine,
+    TrafficEngineError,
+    run_comparison,
+)
+from repro.traffic.slo import RequestOutcome, RequestRecord, TrafficSummary, summarize
+from repro.traffic.report import render_traffic_report
+
+__all__ = [
+    "ArrivalError",
+    "ArrivalProcess",
+    "PoissonArrivals",
+    "BurstyArrivals",
+    "DiurnalArrivals",
+    "TraceArrivals",
+    "Request",
+    "Autoscaler",
+    "AutoscalerError",
+    "LoadSample",
+    "ScalingDecision",
+    "ScalingPolicy",
+    "TargetConcurrencyPolicy",
+    "FixedReplicasPolicy",
+    "NoScalingPolicy",
+    "TRAFFIC_MODES",
+    "TrafficConfig",
+    "TrafficEngine",
+    "TrafficEngineError",
+    "run_comparison",
+    "RequestOutcome",
+    "RequestRecord",
+    "TrafficSummary",
+    "summarize",
+    "render_traffic_report",
+]

@@ -1,0 +1,153 @@
+"""Replica autoscaling: closing the loop on observed load.
+
+Each control interval the autoscaler samples the per-function load (requests
+in flight plus requests queued at the gateway) and recommends a pool size.
+Scaling *up* pays each new replica's cold start — the paper's Fig. 2a costs,
+charged through the gateway — and the replica only starts serving once that
+cold start completes.  Scaling *down* reclaims replicas that have been idle
+for the keep-alive window, mirroring how FaaS platforms hold instances warm
+for a grace period before deprovisioning.
+
+Policies are pluggable:
+
+* :class:`TargetConcurrencyPolicy` — Knative-style: keep roughly
+  ``target_concurrency`` requests per replica;
+* :class:`FixedReplicasPolicy` — a static pool (what the paper's fan-out
+  experiments implicitly assume);
+* :class:`NoScalingPolicy` — never change the pool (pure queueing).
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import List, Tuple
+
+
+class AutoscalerError(ValueError):
+    """Raised for invalid scaling parameters."""
+
+
+@dataclass(frozen=True)
+class LoadSample:
+    """What the autoscaler observes at one control tick."""
+
+    time_s: float
+    in_flight: int
+    queued: int
+    replicas: int
+
+    @property
+    def demand(self) -> int:
+        """Requests wanting a replica right now."""
+        return self.in_flight + self.queued
+
+
+class ScalingPolicy(ABC):
+    """Maps one load sample to a desired replica count (before clamping)."""
+
+    name: str = "abstract"
+
+    @abstractmethod
+    def desired_replicas(self, sample: LoadSample) -> int:
+        """The pool size this policy wants, given the observed load."""
+
+
+class TargetConcurrencyPolicy(ScalingPolicy):
+    """Knative-style: size the pool for ``target_concurrency`` per replica."""
+
+    name = "target-concurrency"
+
+    def __init__(self, target_concurrency: float = 1.0) -> None:
+        if target_concurrency <= 0:
+            raise AutoscalerError("target_concurrency must be positive")
+        self.target_concurrency = target_concurrency
+
+    def desired_replicas(self, sample: LoadSample) -> int:
+        return int(math.ceil(sample.demand / self.target_concurrency))
+
+
+class FixedReplicasPolicy(ScalingPolicy):
+    """A static pool of ``replicas`` instances regardless of load."""
+
+    name = "fixed"
+
+    def __init__(self, replicas: int) -> None:
+        if replicas < 1:
+            raise AutoscalerError("a fixed pool needs at least one replica")
+        self.replicas = replicas
+
+    def desired_replicas(self, sample: LoadSample) -> int:
+        return self.replicas
+
+
+class NoScalingPolicy(ScalingPolicy):
+    """Keep whatever pool exists; excess load queues."""
+
+    name = "none"
+
+    def desired_replicas(self, sample: LoadSample) -> int:
+        return sample.replicas
+
+
+@dataclass(frozen=True)
+class ScalingDecision:
+    """The autoscaler's output for one control tick."""
+
+    time_s: float
+    current: int
+    desired: int
+
+    @property
+    def scale_up(self) -> int:
+        return max(0, self.desired - self.current)
+
+    @property
+    def scale_down(self) -> int:
+        return max(0, self.current - self.desired)
+
+
+class Autoscaler:
+    """Per-function control loop over a :class:`ScalingPolicy`.
+
+    The autoscaler only *decides*; the traffic engine applies decisions
+    (registering replicas through the gateway, which charges cold starts,
+    and reclaiming idle ones).  That split keeps the policy logic testable
+    without a cluster.
+    """
+
+    def __init__(
+        self,
+        policy: ScalingPolicy,
+        min_replicas: int = 1,
+        max_replicas: int = 64,
+        keep_alive_s: float = 30.0,
+        control_interval_s: float = 1.0,
+    ) -> None:
+        if min_replicas < 0:
+            raise AutoscalerError("min_replicas must be non-negative")
+        if max_replicas < max(1, min_replicas):
+            raise AutoscalerError("max_replicas must be >= max(1, min_replicas)")
+        if keep_alive_s < 0:
+            raise AutoscalerError("keep_alive_s must be non-negative")
+        if control_interval_s <= 0:
+            raise AutoscalerError("control_interval_s must be positive")
+        self.policy = policy
+        self.min_replicas = min_replicas
+        self.max_replicas = max_replicas
+        self.keep_alive_s = keep_alive_s
+        self.control_interval_s = control_interval_s
+        self.decisions: List[ScalingDecision] = []
+
+    def evaluate(self, sample: LoadSample) -> ScalingDecision:
+        """Clamp the policy's desire to [min_replicas, max_replicas]."""
+        desired = self.policy.desired_replicas(sample)
+        desired = max(self.min_replicas, min(self.max_replicas, desired))
+        decision = ScalingDecision(time_s=sample.time_s, current=sample.replicas, desired=desired)
+        self.decisions.append(decision)
+        return decision
+
+    def reclaimable(self, now: float, idle_since: float) -> bool:
+        """Whether a replica idle since ``idle_since`` is past its keep-alive."""
+        return now - idle_since >= self.keep_alive_s

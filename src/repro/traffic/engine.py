@@ -1,0 +1,425 @@
+"""The traffic engine: sustained multi-client load as a discrete-event run.
+
+The paper measures one transfer at a time; this engine measures the
+*platform*: a seeded arrival stream is admitted through the
+:class:`~repro.platform.gateway.IngressGateway`, queued while replicas are
+busy or still cold-starting, executed with bounded per-replica and per-node
+concurrency, and accounted per request with queueing delay separated from
+service time.  An :class:`~repro.traffic.autoscaler.Autoscaler` closes the
+loop each control interval, growing the pool (paying the runtime's modelled
+cold start through the orchestrator) and reclaiming replicas idle past
+their keep-alive.
+
+Service times come from the same machinery as every figure in the
+reproduction: each distinct payload size is invoked once through an
+isolated :func:`~repro.experiments.environment.build_pair_setup`
+environment (Invoker + channel for the chosen mode) and cached — the
+simulation is deterministic, so the per-request cost of a given transfer
+never varies.  Contention is then modelled by the engine's concurrency
+bounds rather than by re-simulating every transfer, which keeps
+hundred-thousand-request runs cheap.
+
+Everything is driven by one :class:`~repro.sim.engine.EventLoop`, so a
+seeded run is exactly reproducible: same arrivals, same scaling decisions,
+same percentiles.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Optional, Sequence, Tuple
+
+from repro.experiments.environment import build_pair_setup
+from repro.platform.deployment import DeployedFunction
+from repro.platform.cluster import Cluster
+from repro.platform.function import FunctionSpec
+from repro.platform.gateway import IngressGateway, RoutingPolicy
+from repro.platform.orchestrator import Orchestrator
+from repro.sim.clock import SimClock
+from repro.sim.costs import CostModel, DEFAULT_COST_MODEL
+from repro.sim.engine import EventLoop
+from repro.sim.ledger import CostCategory, CostLedger
+from repro.traffic.arrivals import Request
+from repro.traffic.autoscaler import Autoscaler, LoadSample, TargetConcurrencyPolicy
+from repro.traffic.slo import RequestOutcome, RequestRecord, TrafficSummary, summarize
+from repro.wasm.runtime import RuntimeKind
+from repro.workloads.generators import make_payload
+
+MB = 1024 * 1024
+
+#: Modes the traffic engine can drive (single-node deployments).
+TRAFFIC_MODES: Tuple[str, ...] = (
+    "roadrunner-user",
+    "roadrunner-kernel",
+    "runc-http",
+    "wasmedge-http",
+)
+
+
+class TrafficEngineError(RuntimeError):
+    """Raised for invalid engine configurations or request streams."""
+
+
+@dataclass(frozen=True)
+class TrafficConfig:
+    """Knobs of one sustained-load run."""
+
+    #: Nodes in the serving cluster; replicas spread round-robin across them.
+    nodes: int = 4
+    #: Concurrent requests one replica serves (1 = FaaS single-concurrency).
+    per_replica_concurrency: int = 1
+    #: Replicas registered (and cold-started) before the first arrival.
+    initial_replicas: int = 1
+    #: Admission bound: arrivals beyond this queue depth are dropped.
+    max_queue: int = 10_000
+    #: Requests queued longer than this time out (never reach a replica).
+    queue_timeout_s: float = 30.0
+    #: Load-balancer policy at the gateway.
+    routing: RoutingPolicy = RoutingPolicy.LEAST_LOADED
+    cost_model: CostModel = DEFAULT_COST_MODEL
+
+    def __post_init__(self) -> None:
+        if self.nodes < 1:
+            raise TrafficEngineError("need at least one node")
+        if self.per_replica_concurrency < 1:
+            raise TrafficEngineError("per_replica_concurrency must be >= 1")
+        if self.initial_replicas < 0:
+            raise TrafficEngineError("initial_replicas must be non-negative")
+        if self.max_queue < 1:
+            raise TrafficEngineError("max_queue must be >= 1")
+        if self.queue_timeout_s <= 0:
+            raise TrafficEngineError("queue_timeout_s must be positive")
+
+
+@dataclass
+class _Replica:
+    """Engine-side view of one gateway replica.
+
+    Only warm-up and idleness live here; in-flight counts stay in the
+    gateway (the load balancer's bookkeeping is the single source of
+    truth — the engine samples it through the admission hooks).
+    """
+
+    deployed: DeployedFunction
+    ready_at: float
+    cold_s: float = 0.0
+    idle_since: float = 0.0
+
+
+def _spec_for_mode(mode: str, function: str) -> FunctionSpec:
+    if mode == "runc-http":
+        kind = RuntimeKind.RUNC
+    elif mode == "wasmedge-http":
+        kind = RuntimeKind.WASMEDGE
+    else:
+        kind = RuntimeKind.ROADRUNNER
+    return FunctionSpec(
+        name=function,
+        runtime=kind,
+        requires_wasi=kind is not RuntimeKind.RUNC,
+        workflow="traffic",
+        tenant="tenant-1",
+    )
+
+
+class TrafficEngine:
+    """Drives one arrival stream against one runtime mode."""
+
+    def __init__(
+        self,
+        mode: str,
+        autoscaler: Optional[Autoscaler] = None,
+        config: Optional[TrafficConfig] = None,
+    ) -> None:
+        if mode not in TRAFFIC_MODES:
+            raise TrafficEngineError(
+                "unknown traffic mode %r (known: %s)" % (mode, ", ".join(TRAFFIC_MODES))
+            )
+        self.mode = mode
+        self.config = config or TrafficConfig()
+        self.autoscaler = autoscaler or Autoscaler(TargetConcurrencyPolicy(1.0))
+        self.records: List[RequestRecord] = []
+        self.clock = SimClock()
+        self._service_cache: Dict[int, float] = {}
+
+    # -- public API -----------------------------------------------------------------
+
+    def run(self, requests: Sequence[Request], pattern: str = "trace") -> TrafficSummary:
+        """Admit, queue, execute and account every request in the stream."""
+        if not requests:
+            raise TrafficEngineError("cannot run an empty request stream")
+        self.records = []  # each run() reports only its own stream
+        functions = {request.function for request in requests}
+        if len(functions) != 1:
+            raise TrafficEngineError(
+                "the engine serves one function per run, got %s" % sorted(functions)
+            )
+        function = requests[0].function
+
+        # Serving cluster: the gateway pool lives here and its ledger takes
+        # the ingress and cold-start charges of the run, timestamped on the
+        # engine's simulated clock.
+        self.clock.reset()
+        cluster = Cluster(
+            cost_model=self.config.cost_model,
+            ledger=CostLedger(clock=self.clock, name="traffic"),
+        )
+        for index in range(self.config.nodes):
+            cluster.add_node("traffic-%d" % index)
+        orchestrator = Orchestrator(cluster)
+        gateway = IngressGateway(orchestrator, policy=self.config.routing)
+        spec = _spec_for_mode(self.mode, function)
+
+        loop = EventLoop()
+        queue: Deque[Request] = deque()
+        queued_ids = set()
+        replicas: List[_Replica] = []
+        by_name: Dict[str, _Replica] = {}
+        timeline: List[Tuple[float, int]] = []
+        # Replicas beyond the cluster's core count can never execute (each
+        # in-flight request occupies one core), so the autoscaler is capped
+        # there — no cold starts are paid for capacity that cannot serve.
+        capacity = sum(cluster.node(name).cores for name in cluster.nodes)
+        state = {
+            "remaining": len(requests),
+            "last_event_s": 0.0,
+            "cold_start_seconds": 0.0,
+        }
+
+        def note(now: float) -> None:
+            state["last_event_s"] = max(state["last_event_s"], now)
+            self.clock.advance_to(loop.now)
+
+        def add_replicas(count: int, now: float) -> None:
+            """Register ``count`` replicas, each paying its modelled cold start.
+
+            Replicas never share a VM here: after a scale-to-zero the next
+            scale-up must pay the full cold start again, so a cached warm VM
+            would flatter whichever runtime got to keep it.
+            """
+            for _ in range(count):
+                before = cluster.ledger.seconds(CostCategory.COLD_START)
+                deployed = gateway.register(spec, replicas=1, charge_cold_start=True)[0]
+                cold = cluster.ledger.seconds(CostCategory.COLD_START) - before
+                state["cold_start_seconds"] += cold
+                replica = _Replica(
+                    deployed=deployed, ready_at=now + cold, cold_s=cold, idle_since=now + cold
+                )
+                replicas.append(replica)
+                by_name[deployed.name] = replica
+                loop.schedule_at(now + cold, lambda: dispatch(loop.now), label="warm")
+
+        def eligible(now: float) -> List[_Replica]:
+            if not replicas:
+                return []
+            counts = gateway.in_flight(function)
+            busy_by_node: Dict[str, int] = {}
+            for replica in replicas:
+                node = replica.deployed.node_name
+                busy_by_node[node] = busy_by_node.get(node, 0) + counts[replica.deployed.name]
+            return [
+                replica
+                for replica in replicas
+                if replica.ready_at <= now
+                and counts[replica.deployed.name] < self.config.per_replica_concurrency
+                and busy_by_node[replica.deployed.node_name]
+                < cluster.node(replica.deployed.node_name).cores
+            ]
+
+        def dispatch(now: float) -> None:
+            """Move queued requests onto available replicas (FIFO order)."""
+            while queue:
+                # Lazy deletion: timed-out requests stay in the deque as
+                # ghosts (removed from queued_ids) and are skipped here, so
+                # expiry stays O(1) even under heavy overload.
+                if queue[0].request_id not in queued_ids:
+                    queue.popleft()
+                    continue
+                candidates = eligible(now)
+                if not candidates:
+                    return
+                request = queue.popleft()
+                queued_ids.discard(request.request_id)
+                deployed = gateway.route_among(
+                    function, [replica.deployed for replica in candidates]
+                )
+                replica = by_name[deployed.name]
+                service = self._service_time(request.payload_bytes)
+                # The part of this request's wait actually spent watching its
+                # replica cold-start: the overlap of [arrival, dispatch] with
+                # the replica's warm-up window, not the whole queueing delay.
+                cold_wait = max(0.0, min(replica.cold_s, replica.ready_at - request.arrival_s))
+                completion = now + service
+                note(completion)
+
+                def complete(
+                    request: Request = request,
+                    replica: _Replica = replica,
+                    dispatched: float = now,
+                    completion: float = completion,
+                    cold_wait: float = cold_wait,
+                ) -> None:
+                    gateway.release(function, replica.deployed)
+                    replica.idle_since = completion
+                    self.records.append(
+                        RequestRecord(
+                            request_id=request.request_id,
+                            function=function,
+                            outcome=RequestOutcome.COMPLETED,
+                            arrival_s=request.arrival_s,
+                            dispatch_s=dispatched,
+                            completion_s=completion,
+                            replica=replica.deployed.name,
+                            cold_start_wait_s=cold_wait,
+                        )
+                    )
+                    state["remaining"] -= 1
+                    dispatch(loop.now)
+
+                loop.schedule_at(completion, complete, label="complete")
+
+        def arrive(request: Request) -> None:
+            note(request.arrival_s)
+            if len(queued_ids) >= self.config.max_queue:
+                self.records.append(
+                    RequestRecord(
+                        request_id=request.request_id,
+                        function=function,
+                        outcome=RequestOutcome.DROPPED,
+                        arrival_s=request.arrival_s,
+                    )
+                )
+                state["remaining"] -= 1
+                return
+            queue.append(request)
+            queued_ids.add(request.request_id)
+            loop.schedule_at(
+                request.arrival_s + self.config.queue_timeout_s,
+                lambda request=request: expire(request),
+                label="timeout",
+            )
+            dispatch(loop.now)
+
+        def expire(request: Request) -> None:
+            """Time out a request still waiting when its patience ran out.
+
+            The request stays in the deque as a ghost; ``dispatch`` discards
+            it when it reaches the head.
+            """
+            if request.request_id not in queued_ids:
+                return
+            queued_ids.discard(request.request_id)
+            self.records.append(
+                RequestRecord(
+                    request_id=request.request_id,
+                    function=function,
+                    outcome=RequestOutcome.TIMED_OUT,
+                    arrival_s=request.arrival_s,
+                )
+            )
+            state["remaining"] -= 1
+            note(loop.now)
+
+        def control_tick() -> None:
+            if state["remaining"] <= 0:
+                return
+            now = loop.now
+            sample = LoadSample(
+                time_s=now,
+                in_flight=gateway.total_in_flight(function) if replicas else 0,
+                queued=len(queued_ids),
+                replicas=len(replicas),
+            )
+            decision = self.autoscaler.evaluate(sample)
+            if decision.scale_up:
+                add_replicas(min(decision.scale_up, max(0, capacity - len(replicas))), now)
+            elif decision.scale_down:
+                reclaim(decision.scale_down, now)
+            timeline.append((now, len(replicas)))
+            dispatch(now)
+            loop.schedule(self.autoscaler.control_interval_s, control_tick, label="tick")
+
+        def reclaim(count: int, now: float) -> None:
+            """Remove up to ``count`` warm replicas idle past their keep-alive."""
+            counts = gateway.in_flight(function) if replicas else {}
+            idle = sorted(
+                (
+                    replica
+                    for replica in replicas
+                    if counts[replica.deployed.name] == 0
+                    and replica.ready_at <= now
+                    and self.autoscaler.reclaimable(now, replica.idle_since)
+                ),
+                key=lambda replica: replica.idle_since,
+            )
+            for replica in idle[:count]:
+                gateway.remove_replica(function, replica.deployed)
+                replicas.remove(replica)
+                del by_name[replica.deployed.name]
+
+        # Bootstrap: initial pool (capacity-capped like autoscaled growth),
+        # arrival events, the control loop.
+        if self.config.initial_replicas:
+            add_replicas(min(self.config.initial_replicas, capacity), 0.0)
+        timeline.append((0.0, len(replicas)))
+        ordered = sorted(requests, key=lambda r: (r.arrival_s, r.request_id))
+        for request in ordered:
+            loop.schedule_at(request.arrival_s, lambda request=request: arrive(request), label="arrive")
+        loop.schedule(self.autoscaler.control_interval_s, control_tick, label="tick")
+        loop.run()
+
+        if state["remaining"] != 0:
+            raise TrafficEngineError(
+                "engine finished with %d unresolved requests" % state["remaining"]
+            )
+        duration = max(state["last_event_s"], ordered[-1].arrival_s)
+        self.records.sort(key=lambda record: record.request_id)
+        return summarize(
+            mode=self.mode,
+            pattern=pattern,
+            duration_s=duration,
+            records=self.records,
+            cold_starts=gateway.cold_starts,
+            cold_start_seconds=state["cold_start_seconds"],
+            replica_timeline=timeline,
+        )
+
+    # -- service times ---------------------------------------------------------------
+
+    def _service_time(self, payload_bytes: int) -> float:
+        """Workflow latency for one payload size, measured once and cached.
+
+        The measurement invokes the canonical two-function chain through a
+        fresh isolated environment for this engine's mode — the same path
+        every figure in the reproduction uses.
+        """
+        cached = self._service_cache.get(payload_bytes)
+        if cached is None:
+            setup = build_pair_setup(self.mode, cost_model=self.config.cost_model)
+            payload = make_payload(payload_bytes / MB)
+            cached = setup.invoker.invoke(setup.workflow, payload).total_latency_s
+            self._service_cache[payload_bytes] = cached
+        return cached
+
+
+def run_comparison(
+    requests: Sequence[Request],
+    modes: Sequence[str] = ("roadrunner-user", "runc-http"),
+    autoscaler_factory=None,
+    config: Optional[TrafficConfig] = None,
+    pattern: str = "trace",
+) -> Dict[str, TrafficSummary]:
+    """Run the *same* arrival stream against several runtimes.
+
+    Each mode gets a fresh engine and a fresh autoscaler (from
+    ``autoscaler_factory``, defaulting to target-concurrency 1.0) so no
+    state leaks between the compared runs — the arrival stream is the only
+    thing they share.
+    """
+    results: Dict[str, TrafficSummary] = {}
+    for mode in modes:
+        autoscaler = autoscaler_factory() if autoscaler_factory else None
+        engine = TrafficEngine(mode, autoscaler=autoscaler, config=config)
+        results[mode] = engine.run(requests, pattern=pattern)
+    return results

@@ -1,0 +1,125 @@
+"""Plain-text rendering of sustained-load runs.
+
+One table of SLO numbers per compared runtime, one latency-distribution
+table (shared formatting with every other latency report in the
+reproduction), and a replica-count-over-time strip per mode so autoscaler
+behaviour is visible without plotting.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Sequence, Tuple
+
+from repro.metrics.report import format_latency_summaries, format_table
+from repro.traffic.slo import TrafficSummary
+
+
+def render_summary_table(results: Mapping[str, TrafficSummary], title: str = "Traffic summary") -> str:
+    """The headline per-mode table: volume, goodput, scaling, cold starts."""
+    headers = [
+        "mode",
+        "offered",
+        "completed",
+        "timed out",
+        "dropped",
+        "duration (s)",
+        "goodput (rps)",
+        "mean replicas",
+        "max replicas",
+        "cold starts",
+        "cold start (s)",
+    ]
+    rows = [
+        [
+            summary.mode,
+            summary.offered,
+            summary.completed,
+            summary.timed_out,
+            summary.dropped,
+            summary.duration_s,
+            summary.goodput_rps,
+            summary.mean_replicas,
+            summary.max_replicas,
+            summary.cold_starts,
+            summary.cold_start_seconds,
+        ]
+        for summary in results.values()
+    ]
+    return format_table(headers, rows, title=title)
+
+
+def render_latency_tables(results: Mapping[str, TrafficSummary]) -> str:
+    """End-to-end latency and queueing-delay distributions, one row per mode."""
+    latency = {summary.mode: summary.latency for summary in results.values()}
+    queueing = {summary.mode: summary.queueing for summary in results.values()}
+    service = {summary.mode: summary.service for summary in results.values()}
+    return "\n\n".join(
+        [
+            format_latency_summaries(latency, title="End-to-end latency", label="mode"),
+            format_latency_summaries(queueing, title="Queueing delay", label="mode"),
+            format_latency_summaries(service, title="Service time", label="mode"),
+        ]
+    )
+
+
+def render_replica_timeline(
+    summary: TrafficSummary, buckets: int = 12, width: int = 40
+) -> str:
+    """An ASCII strip chart of pool size over the run for one mode."""
+    if not summary.replica_timeline or summary.duration_s <= 0:
+        return "%s: no replica timeline" % summary.mode
+    samples = _bucketize(summary.replica_timeline, summary.duration_s, buckets)
+    peak = max(count for _, count in samples) or 1
+    lines = ["replicas over time — %s" % summary.mode]
+    for start, count in samples:
+        bar = "#" * max(1 if count > 0 else 0, int(round(width * count / peak)))
+        lines.append("  t=%7.1fs  %3d  %s" % (start, count, bar))
+    return "\n".join(lines)
+
+
+def _bucketize(
+    timeline: Sequence[Tuple[float, int]], duration_s: float, buckets: int
+) -> List[Tuple[float, int]]:
+    """Collapse the (time, count) step function into per-bucket maxima.
+
+    Each bucket reports the largest pool size active at any point during
+    its interval — a short-lived peak between two bucket boundaries still
+    shows up, so the strip chart never contradicts the table's
+    ``max_replicas``.
+    """
+    step = duration_s / buckets
+    samples: List[Tuple[float, int]] = []
+    for index in range(buckets):
+        start, end = index * step, (index + 1) * step
+        entering = 0
+        peak = None
+        for time_s, value in timeline:
+            if time_s <= start:
+                entering = value
+            elif time_s < end:
+                peak = value if peak is None else max(peak, value)
+            else:
+                break
+        peak = entering if peak is None else max(peak, entering)
+        samples.append((start, peak))
+    return samples
+
+
+def render_traffic_report(results: Mapping[str, TrafficSummary]) -> str:
+    """The full report the CLI prints: summary, distributions, timelines."""
+    if not results:
+        return "Sustained load: no runs to report"
+    first = next(iter(results.values()))
+    # Each mode's run ends when its last request resolves, so durations are
+    # per mode (the summary table); only the arrival stream is shared.
+    parts = [
+        "Sustained load: pattern=%s, %d requests offered per mode (simulated time)"
+        % (first.pattern, first.offered),
+        "",
+        render_summary_table(results),
+        "",
+        render_latency_tables(results),
+        "",
+    ]
+    parts.extend(render_replica_timeline(summary) for summary in results.values())
+    return "\n".join(parts)

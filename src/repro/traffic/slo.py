@@ -1,0 +1,172 @@
+"""SLO accounting: per-request records rolled into tail-latency summaries.
+
+The traffic engine emits one :class:`RequestRecord` per admitted request.
+This module rolls them into what an operator actually watches: p50/p95/p99
+end-to-end latency, queueing delay separated from service time, timeout and
+drop counts, and goodput (completed requests per second of simulated time —
+dropped or timed-out requests produce no good output, however much CPU they
+burned).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.metrics.stats import LatencySummary
+
+
+class SloError(ValueError):
+    """Raised for malformed request records."""
+
+
+class RequestOutcome(enum.Enum):
+    """How one request's life ended."""
+
+    COMPLETED = "completed"
+    TIMED_OUT = "timed_out"   # waited in the queue past the admission timeout
+    DROPPED = "dropped"       # rejected at admission (queue full)
+
+
+@dataclass(frozen=True)
+class RequestRecord:
+    """The full timing of one request through the platform.
+
+    ``dispatch_s`` and ``completion_s`` are ``None`` for requests that never
+    reached a replica.  For completed requests::
+
+        queueing delay = dispatch - arrival      (time waiting for a replica)
+        service time   = completion - dispatch   (time executing the workflow)
+        latency        = completion - arrival    (what the client observes)
+    """
+
+    request_id: int
+    function: str
+    outcome: RequestOutcome
+    arrival_s: float
+    dispatch_s: Optional[float] = None
+    completion_s: Optional[float] = None
+    replica: str = ""
+    cold_start_wait_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.outcome is RequestOutcome.COMPLETED:
+            if self.dispatch_s is None or self.completion_s is None:
+                raise SloError("completed requests need dispatch and completion times")
+            if not self.arrival_s <= self.dispatch_s <= self.completion_s:
+                raise SloError(
+                    "request %d times must be ordered: arrival=%r dispatch=%r completion=%r"
+                    % (self.request_id, self.arrival_s, self.dispatch_s, self.completion_s)
+                )
+
+    @property
+    def queueing_delay_s(self) -> float:
+        if self.dispatch_s is None:
+            return 0.0
+        return self.dispatch_s - self.arrival_s
+
+    @property
+    def service_s(self) -> float:
+        if self.dispatch_s is None or self.completion_s is None:
+            return 0.0
+        return self.completion_s - self.dispatch_s
+
+    @property
+    def latency_s(self) -> float:
+        if self.completion_s is None:
+            return 0.0
+        return self.completion_s - self.arrival_s
+
+
+@dataclass(frozen=True)
+class TrafficSummary:
+    """Everything one sustained-load run produced, per runtime mode."""
+
+    mode: str
+    pattern: str
+    duration_s: float
+    offered: int
+    completed: int
+    timed_out: int
+    dropped: int
+    latency: LatencySummary
+    queueing: LatencySummary
+    service: LatencySummary
+    cold_starts: int
+    cold_start_seconds: float
+    replica_seconds: float
+    max_replicas: int
+    replica_timeline: Tuple[Tuple[float, int], ...]
+
+    @property
+    def goodput_rps(self) -> float:
+        """Completed requests per second of simulated run time."""
+        if self.duration_s <= 0:
+            return 0.0
+        return self.completed / self.duration_s
+
+    @property
+    def failure_fraction(self) -> float:
+        if self.offered == 0:
+            return 0.0
+        return (self.timed_out + self.dropped) / self.offered
+
+    @property
+    def mean_replicas(self) -> float:
+        """Time-weighted average pool size over the run."""
+        if self.duration_s <= 0:
+            return 0.0
+        return self.replica_seconds / self.duration_s
+
+
+def summarize(
+    mode: str,
+    pattern: str,
+    duration_s: float,
+    records: Sequence[RequestRecord],
+    cold_starts: int = 0,
+    cold_start_seconds: float = 0.0,
+    replica_timeline: Sequence[Tuple[float, int]] = (),
+) -> TrafficSummary:
+    """Roll per-request records into one :class:`TrafficSummary`."""
+    if duration_s <= 0:
+        raise SloError("duration must be positive")
+    completed = [r for r in records if r.outcome is RequestOutcome.COMPLETED]
+    timed_out = sum(1 for r in records if r.outcome is RequestOutcome.TIMED_OUT)
+    dropped = sum(1 for r in records if r.outcome is RequestOutcome.DROPPED)
+    if completed:
+        latency = LatencySummary.from_samples([r.latency_s for r in completed])
+        queueing = LatencySummary.from_samples([r.queueing_delay_s for r in completed])
+        service = LatencySummary.from_samples([r.service_s for r in completed])
+    else:
+        latency = queueing = service = LatencySummary.empty()
+    return TrafficSummary(
+        mode=mode,
+        pattern=pattern,
+        duration_s=duration_s,
+        offered=len(records),
+        completed=len(completed),
+        timed_out=timed_out,
+        dropped=dropped,
+        latency=latency,
+        queueing=queueing,
+        service=service,
+        cold_starts=cold_starts,
+        cold_start_seconds=cold_start_seconds,
+        replica_seconds=_replica_seconds(replica_timeline, duration_s),
+        max_replicas=max((count for _, count in replica_timeline), default=0),
+        replica_timeline=tuple(replica_timeline),
+    )
+
+
+def _replica_seconds(timeline: Sequence[Tuple[float, int]], duration_s: float) -> float:
+    """Integrate a step function of (time, pool size) samples over the run."""
+    if not timeline:
+        return 0.0
+    total = 0.0
+    for (start, count), (end, _) in zip(timeline, timeline[1:]):
+        total += count * max(0.0, min(end, duration_s) - start)
+    last_time, last_count = timeline[-1]
+    total += last_count * max(0.0, duration_s - last_time)
+    return total

@@ -12,12 +12,12 @@ their own traffic shape rather than the paper's sweeps.
 from __future__ import annotations
 
 import random
-import statistics
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.experiments.environment import build_pair_setup
 from repro.metrics.records import TransferMetrics
+from repro.metrics.stats import mean, p95
 from repro.sim.costs import CostModel, DEFAULT_COST_MODEL
 from repro.workloads.generators import make_payload
 
@@ -191,17 +191,16 @@ def replay_trace(
         latencies.append(metrics.total_latency_s)
         total_cpu += metrics.cpu_total_s
         total_copied += metrics.copied_bytes
-    latencies_sorted = sorted(latencies)
-    p95_index = max(0, int(0.95 * len(latencies_sorted)) - 1)
-    window = max(trace.duration_s + latencies_sorted[-1], latencies_sorted[-1])
+    slowest = max(latencies)
+    window = max(trace.duration_s + slowest, slowest)
     busy = min(1.0, sum(latencies) / window) if window > 0 else 1.0
     return TraceReplayResult(
         trace_name=trace.name,
         mode=mode,
         invocations=len(trace),
-        mean_latency_s=statistics.fmean(latencies),
-        p95_latency_s=latencies_sorted[p95_index],
-        max_latency_s=latencies_sorted[-1],
+        mean_latency_s=mean(latencies),
+        p95_latency_s=p95(latencies),
+        max_latency_s=slowest,
         total_cpu_s=total_cpu,
         total_copied_bytes=total_copied,
         busy_fraction=busy,

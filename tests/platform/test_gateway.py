@@ -98,3 +98,99 @@ def test_routed_replica_can_receive_data_through_roadrunner():
     outcome = channel.transfer(source, target, payload)
     payload.require_match(outcome.delivered)
     gateway.release("worker", target)
+
+
+def _route_under_skew(policy):
+    """Route a fixed request sequence where early requests never finish."""
+    _, _, gateway = _gateway(policy=policy)
+    gateway.register(_spec(), replicas=3, charge_cold_start=False)
+    # Three long-running requests pile onto whatever the policy picks first;
+    # none are released, so in-flight load stays skewed.
+    for _ in range(3):
+        gateway.route("worker")
+    # Six short requests follow, each released immediately.
+    for _ in range(6):
+        chosen = gateway.route("worker")
+        gateway.release("worker", chosen)
+    return gateway.served_per_replica("worker"), gateway.in_flight("worker")
+
+
+def test_least_loaded_and_round_robin_diverge_under_skew():
+    rr_served, rr_stuck = _route_under_skew(RoutingPolicy.ROUND_ROBIN)
+    ll_served, ll_stuck = _route_under_skew(RoutingPolicy.LEAST_LOADED)
+    # Round-robin ignores load entirely: every replica gets 3 requests and
+    # every replica carries one stuck request.
+    assert set(rr_served.values()) == {3}
+    assert set(rr_stuck.values()) == {1}
+    # Least-loaded piles nothing further on the replica that is still busy:
+    # the three stuck requests spread out (one each), and later traffic only
+    # ever raises a replica to the current minimum load plus one.
+    assert set(ll_stuck.values()) == {1}
+    assert rr_served != ll_served or rr_stuck != ll_stuck
+
+
+def test_least_loaded_avoids_a_hot_replica():
+    _, _, gateway = _gateway(policy=RoutingPolicy.LEAST_LOADED)
+    first, second = gateway.register(_spec(), replicas=2, charge_cold_start=False)
+    # Pin three requests on one replica via the admission hook.
+    for _ in range(3):
+        assert gateway.route_among("worker", [first]) is first
+    # Free-choice routing now prefers the idle replica until loads equalize.
+    for _ in range(3):
+        assert gateway.route("worker") is second
+    assert gateway.in_flight("worker") == {first.name: 3, second.name: 3}
+
+
+def test_scale_from_zero_charges_one_cold_start_per_replica():
+    cluster, _, gateway = _gateway()
+    ledger = cluster.ledger
+
+    gateway.register(_spec(), replicas=1)
+    per_replica = ledger.seconds(CostCategory.COLD_START)
+    assert per_replica > 0
+    assert gateway.cold_starts == 1
+
+    # Each further replica of the same spec pays exactly the same cold start.
+    gateway.register(_spec(), replicas=2)
+    assert gateway.cold_starts == 3
+    assert ledger.seconds(CostCategory.COLD_START) == pytest.approx(3 * per_replica)
+
+    # Warm registration adds replicas without touching the cold-start ledger.
+    gateway.register(_spec(), replicas=1, charge_cold_start=False)
+    assert gateway.cold_starts == 3
+    assert ledger.seconds(CostCategory.COLD_START) == pytest.approx(3 * per_replica)
+
+
+def test_remove_replica_reclaims_idle_capacity():
+    _, orchestrator, gateway = _gateway()
+    replicas = gateway.register(_spec(), replicas=3, charge_cold_start=False)
+    gateway.remove_replica("worker", replicas[1])
+    assert gateway.pool_size("worker") == 2
+    assert gateway.scale_downs == 1
+    assert replicas[1].name not in orchestrator.deployments
+    # Removed names are never reused: the next replica gets a fresh serial.
+    fresh = gateway.register(_spec(), replicas=1, charge_cold_start=False)[0]
+    assert fresh.name == "worker-r3"
+
+
+def test_remove_replica_refuses_in_flight_and_foreign_replicas():
+    _, _, gateway = _gateway()
+    replicas = gateway.register(_spec(), replicas=2, charge_cold_start=False)
+    busy = gateway.route("worker")
+    with pytest.raises(GatewayError):
+        gateway.remove_replica("worker", busy)
+    gateway.release("worker", busy)
+    gateway.remove_replica("worker", busy)
+    other_cluster, other_orchestrator, other_gateway = _gateway()
+    foreign = other_gateway.register(_spec(), replicas=1, charge_cold_start=False)[0]
+    with pytest.raises(GatewayError):
+        gateway.remove_replica("worker", foreign)
+
+
+def test_route_among_requires_eligible_pool_members():
+    _, _, gateway = _gateway()
+    replicas = gateway.register(_spec(), replicas=2, charge_cold_start=False)
+    chosen = gateway.route_among("worker", replicas[:1])
+    assert chosen is replicas[0]
+    with pytest.raises(GatewayError):
+        gateway.route_among("worker", [])
