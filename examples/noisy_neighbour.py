@@ -1,0 +1,108 @@
+"""Noisy neighbour: two tenants on one cluster, with and without fairness.
+
+A steady tenant (Poisson, 20 rps) and a bursty tenant (300 rps on-windows)
+share a single 4-core node.  Both runs see *byte-identical* seeded arrival
+streams; the only difference is the gateway's dispatch policy:
+
+* **FIFO** — one logical global queue.  Every burst parks hundreds of the
+  noisy tenant's requests ahead of the steady tenant, whose p99 latency
+  explodes to the burst drain time.
+* **WFQ** — weighted fair queueing over per-tenant queues.  Each freed core
+  alternates between tenants, so the steady tenant's tail barely notices
+  the burst while the noisy tenant only queues against itself.
+
+This is the middleware concern the runtime comparison papers take as
+given: fair multiplexing of concurrent applications over shared
+infrastructure.  The punchline — the steady tenant's p99 under WFQ
+strictly beats FIFO — is asserted as a regression benchmark in
+``benchmarks/test_traffic_noisy_neighbour.py``.
+
+Run with::
+
+    python examples/noisy_neighbour.py
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.traffic import (
+    Autoscaler,
+    BurstyArrivals,
+    FairnessPolicy,
+    MultiTenantTrafficEngine,
+    PoissonArrivals,
+    TargetConcurrencyPolicy,
+    TenantSpec,
+    TrafficConfig,
+    render_multi_tenant_report,
+)
+
+DURATION_S = 20.0
+PAYLOAD_MB = 50.0
+
+
+def make_tenants() -> list:
+    """The tenant mix: identical seeds for every run that calls this."""
+    return [
+        TenantSpec(
+            name="steady",
+            mode="roadrunner-user",
+            weight=1,
+            arrivals=PoissonArrivals(
+                rate_rps=20.0, duration_s=DURATION_S, function="steady",
+                payload_mb=PAYLOAD_MB, seed=7,
+            ),
+        ),
+        TenantSpec(
+            name="noisy",
+            mode="roadrunner-user",
+            weight=1,
+            arrivals=BurstyArrivals(
+                on_rate_rps=300.0, duration_s=DURATION_S, on_s=3.0, off_s=5.0,
+                function="noisy", payload_mb=PAYLOAD_MB, seed=8,
+            ),
+        ),
+    ]
+
+
+def run(fairness: FairnessPolicy):
+    engine = MultiTenantTrafficEngine(
+        make_tenants(),
+        config=TrafficConfig(nodes=1, initial_replicas=2),
+        fairness=fairness,
+        autoscaler_factory=lambda: Autoscaler(
+            TargetConcurrencyPolicy(1.0), min_replicas=1, max_replicas=8, keep_alive_s=5.0
+        ),
+    )
+    return engine.run()
+
+
+def main() -> int:
+    wfq = run(FairnessPolicy.WFQ)
+    fifo = run(FairnessPolicy.FIFO)
+
+    print(render_multi_tenant_report(wfq))
+    print()
+
+    steady_wfq = wfq.tenants["steady"].latency
+    steady_fifo = fifo.tenants["steady"].latency
+    noisy_wfq = wfq.tenants["noisy"].latency
+    print("Steady tenant, identical arrivals, shared 4-core node:")
+    print(
+        "  FIFO sharing : p50=%.3fs  p99=%.3fs   (queued behind every burst)"
+        % (steady_fifo.p50_s, steady_fifo.p99_s)
+    )
+    print(
+        "  WFQ sharing  : p50=%.3fs  p99=%.3fs   (%.0fx better p99)"
+        % (steady_wfq.p50_s, steady_wfq.p99_s, steady_fifo.p99_s / steady_wfq.p99_s)
+    )
+    print(
+        "  Noisy tenant pays for its own burst either way: p99=%.3fs under WFQ."
+        % noisy_wfq.p99_s
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

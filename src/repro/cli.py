@@ -8,7 +8,9 @@ Commands
 ``claims``    evaluate the headline claims (paper vs measured) as a table.
 ``select``    run the dynamic runtime selector on a workflow profile.
 ``traffic``   drive a sustained arrival stream (Poisson/bursty/diurnal) against
-              several runtimes with autoscaling and print the SLO report.
+              several runtimes with autoscaling and print the SLO report;
+              with ``--tenants`` drive several tenants concurrently over one
+              shared cluster with weighted fair queueing at the gateway.
 """
 
 from __future__ import annotations
@@ -20,7 +22,8 @@ from typing import List, Optional
 
 from repro.experiments.claims import evaluate_claims, render_claims
 from repro.experiments.runner import render_all, run_all
-from repro.metrics.export import write_figure
+from repro.metrics.export import multi_tenant_to_figure, traffic_to_figure, write_figure
+from repro.platform.gateway import FairnessPolicy
 from repro.platform.runtime_selector import RuntimeSelector, WorkflowProfile
 from repro.traffic.arrivals import BurstyArrivals, DiurnalArrivals, PoissonArrivals
 from repro.traffic.autoscaler import (
@@ -29,8 +32,15 @@ from repro.traffic.autoscaler import (
     NoScalingPolicy,
     TargetConcurrencyPolicy,
 )
-from repro.traffic.engine import TRAFFIC_MODES, TrafficConfig, TrafficEngineError, run_comparison
-from repro.traffic.report import render_traffic_report
+from repro.traffic.engine import (
+    TRAFFIC_MODES,
+    MultiTenantTrafficEngine,
+    TrafficConfig,
+    TrafficEngineError,
+    run_comparison,
+)
+from repro.traffic.report import render_multi_tenant_report, render_traffic_report
+from repro.traffic.tenants import TenantError, parse_tenants
 
 
 def _cmd_figures(args: argparse.Namespace) -> int:
@@ -107,6 +117,52 @@ def _make_policy(args: argparse.Namespace):
 
 
 def _cmd_traffic(args: argparse.Namespace) -> int:
+    def autoscaler_factory() -> Autoscaler:
+        return Autoscaler(
+            _make_policy(args),
+            min_replicas=args.min_replicas,
+            max_replicas=args.max_replicas,
+            keep_alive_s=args.keep_alive,
+            control_interval_s=args.control_interval,
+        )
+
+    config_kwargs = dict(
+        nodes=args.nodes,
+        initial_replicas=args.initial_replicas,
+        queue_timeout_s=args.timeout,
+    )
+
+    if args.tenants:
+        # Multi-tenant path: several named functions over one shared cluster,
+        # with weighted fair queueing (or FIFO) at the gateway.  Tenants
+        # inherit --duration and the first --modes entry unless they pin
+        # their own "duration"/"mode" keys.
+        try:
+            default_mode = args.modes.split(",")[0].strip() or "roadrunner-user"
+            tenants = parse_tenants(
+                args.tenants,
+                default_mode=default_mode,
+                base_seed=args.seed,
+                default_duration=args.duration,
+            )
+            engine = MultiTenantTrafficEngine(
+                tenants,
+                config=TrafficConfig(**config_kwargs),
+                fairness=FairnessPolicy(args.fairness),
+                starvation_guard=args.starvation_guard,
+                autoscaler_factory=autoscaler_factory,
+                oversubscription=args.oversubscription,
+            )
+            result = engine.run()
+        except (ValueError, TenantError, TrafficEngineError) as exc:
+            print("invalid traffic parameters: %s" % exc, file=sys.stderr)
+            return 2
+        print(render_multi_tenant_report(result))
+        if args.export:
+            path = write_figure(multi_tenant_to_figure(result), args.export, fmt=args.format)
+            print("\nwrote %s" % path)
+        return 0
+
     modes = [mode.strip() for mode in args.modes.split(",") if mode.strip()]
     if not modes:
         print("--modes needs at least one runtime (e.g. %s)" % TRAFFIC_MODES[0], file=sys.stderr)
@@ -118,33 +174,23 @@ def _cmd_traffic(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
-    def autoscaler_factory() -> Autoscaler:
-        return Autoscaler(
-            _make_policy(args),
-            min_replicas=args.min_replicas,
-            max_replicas=args.max_replicas,
-            keep_alive_s=args.keep_alive,
-            control_interval_s=args.control_interval,
-        )
-
     try:
         requests = _make_arrivals(args).generate()
-        config = TrafficConfig(
-            nodes=args.nodes,
-            initial_replicas=args.initial_replicas,
-            queue_timeout_s=args.timeout,
-        )
         results = run_comparison(
             requests,
             modes=modes,
             autoscaler_factory=autoscaler_factory,
-            config=config,
+            config=TrafficConfig(**config_kwargs),
             pattern=args.pattern,
         )
     except (ValueError, TrafficEngineError) as exc:
         print("invalid traffic parameters: %s" % exc, file=sys.stderr)
         return 2
     print(render_traffic_report(results))
+    if args.export:
+        figure = traffic_to_figure(results, x_label="mode")
+        path = write_figure(figure, args.export, fmt=args.format)
+        print("\nwrote %s" % path)
     return 0
 
 
@@ -197,6 +243,36 @@ def build_parser() -> argparse.ArgumentParser:
     traffic.add_argument("--burst-on", type=float, default=5.0, help="bursty: seconds per on-window")
     traffic.add_argument("--burst-off", type=float, default=15.0, help="bursty: silent seconds between bursts")
     traffic.add_argument("--diurnal-period", type=float, default=60.0, help="diurnal: seconds per cycle")
+    traffic.add_argument(
+        "--tenants",
+        help="multi-tenant run over one shared cluster: a JSON array (inline or a "
+        "file path) of tenant objects, e.g. "
+        '\'[{"name": "steady", "pattern": "poisson", "rps": 20, "weight": 3}, '
+        '{"name": "noisy", "pattern": "bursty", "rps": 300, "weight": 1}]\'; '
+        "keys: name, pattern, rps, duration, payload_mb, seed (derived from "
+        "--seed and the name when omitted), weight, mode, burst_on, burst_off, "
+        "period, trough_rps",
+    )
+    traffic.add_argument(
+        "--fairness",
+        choices=[policy.value for policy in FairnessPolicy],
+        default=FairnessPolicy.WFQ.value,
+        help="multi-tenant dispatch order at the gateway (default: wfq)",
+    )
+    traffic.add_argument(
+        "--starvation-guard", type=int, default=32,
+        help="WFQ: serve any tenant passed over this many consecutive dispatches",
+    )
+    traffic.add_argument(
+        "--oversubscription", type=float, default=2.0,
+        help="multi-tenant: replica slots per core (pools overlap on cores above 1.0)",
+    )
+    traffic.add_argument(
+        "--export", metavar="PATH",
+        help="also write the summaries via repro.metrics.export (CSV/JSON like figures)",
+    )
+    traffic.add_argument("--format", choices=("csv", "json"), default="csv",
+                         help="format for --export")
     traffic.set_defaults(handler=_cmd_traffic)
     return parser
 

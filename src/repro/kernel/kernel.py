@@ -53,9 +53,25 @@ class Kernel:
             raise KernelError("unknown pid %d on node %s" % (pid, self.node_name))
         return self._processes[pid]
 
+    def reap(self, pid: int) -> None:
+        """Terminate (if still alive) and forget a process.
+
+        Undeploy paths call this so churned sandboxes and shims do not
+        accumulate in the kernel's process table over long runs.
+        """
+        process = self._processes.pop(pid, None)
+        if process is None:
+            raise KernelError("unknown pid %d on node %s" % (pid, self.node_name))
+        if process.alive:
+            process.exit()
+
     @property
     def processes(self) -> Dict[int, Process]:
         return dict(self._processes)
+
+    @property
+    def live_process_count(self) -> int:
+        return sum(1 for process in self._processes.values() if process.alive)
 
     # -- accounting primitives ----------------------------------------------------------
 

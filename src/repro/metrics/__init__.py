@@ -10,7 +10,18 @@ from repro.metrics.records import LedgerWindow, TransferMetrics
 from repro.metrics.collector import MetricsCollector, AggregateMetrics
 from repro.metrics.report import format_latency_summaries, format_table, format_figure_result
 from repro.metrics.stats import LatencySummary, mean, p50, p95, p99, percentile
-from repro.metrics.export import figure_to_csv, figure_to_dict, figure_to_json, write_figure
+from repro.metrics.export import (
+    figure_from_csv,
+    figure_from_dict,
+    figure_from_json,
+    figure_to_csv,
+    figure_to_dict,
+    figure_to_json,
+    multi_tenant_to_figure,
+    traffic_from_figure,
+    traffic_to_figure,
+    write_figure,
+)
 from repro.metrics.timeline import export_chrome_trace, ledger_to_spans
 
 __all__ = [
@@ -32,5 +43,11 @@ __all__ = [
     "figure_to_csv",
     "figure_to_dict",
     "figure_to_json",
+    "figure_from_csv",
+    "figure_from_dict",
+    "figure_from_json",
+    "traffic_to_figure",
+    "traffic_from_figure",
+    "multi_tenant_to_figure",
     "write_figure",
 ]

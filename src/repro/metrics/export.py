@@ -1,7 +1,14 @@
-"""Export figure results as CSV or JSON.
+"""Export figure results — and traffic runs — as CSV or JSON.
 
 The text tables are good for reading; these exporters make the regenerated
 series easy to plot or diff against the paper's data with external tools.
+Traffic runs export through the same machinery: :func:`traffic_to_figure`
+flattens per-tenant/per-mode :class:`~repro.traffic.slo.TrafficSummary`
+objects into a figure whose x axis is the tenant (or mode) name, so
+``figure_to_csv``/``figure_to_json``/``write_figure`` apply unchanged, and
+:func:`traffic_from_figure` inverts the flattening (every percentile and
+counter round-trips; only the replica timeline, a step function with no
+per-tenant x position, is left behind).
 """
 
 from __future__ import annotations
@@ -9,11 +16,29 @@ from __future__ import annotations
 import csv
 import io
 import json
-from typing import Any, Dict
+from typing import Any, Dict, List, Mapping
 
 
 class ExportError(ValueError):
     """Raised for malformed results."""
+
+
+#: Panels of a traffic figure holding one LatencySummary per tenant/mode.
+_TRAFFIC_LATENCY_PANELS = ("latency", "queueing", "service")
+#: The distribution statistics each of those panels carries as series.
+_TRAFFIC_LATENCY_SERIES = ("count", "mean_s", "p50_s", "p95_s", "p99_s", "max_s")
+#: Counter panels: series -> TrafficSummary attribute.
+_TRAFFIC_VOLUME_SERIES = ("offered", "completed", "timed_out", "dropped")
+_TRAFFIC_SCALING_SERIES = (
+    "cold_starts",
+    "cold_start_seconds",
+    "replica_seconds",
+    "max_replicas",
+    "duration_s",
+)
+_TRAFFIC_INT_FIELDS = frozenset(
+    {"offered", "completed", "timed_out", "dropped", "cold_starts", "max_replicas", "count"}
+)
 
 
 def figure_to_dict(result) -> Dict[str, Any]:
@@ -51,6 +76,183 @@ def figure_to_csv(result) -> str:
             for x, value in zip(result.x_values, values):
                 writer.writerow([result.figure, panel, series, x, value])
     return buffer.getvalue()
+
+
+def figure_from_dict(data: Mapping[str, Any]):
+    """Rebuild a FigureResult from :func:`figure_to_dict`'s plain-dict view."""
+    from repro.experiments.results import FigureResult
+
+    try:
+        return FigureResult(
+            figure=data["figure"],
+            title=data["title"],
+            x_label=data["x_label"],
+            x_values=list(data["x_values"]),
+            panels={
+                panel: {series: list(values) for series, values in series_map.items()}
+                for panel, series_map in data["panels"].items()
+            },
+            notes=data.get("notes", ""),
+        )
+    except (KeyError, TypeError, AttributeError) as exc:
+        raise ExportError("malformed figure dict: %s" % exc)
+
+
+def figure_from_json(text: str):
+    """Rebuild a FigureResult from :func:`figure_to_json` output."""
+    try:
+        data = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise ExportError("not valid figure JSON: %s" % exc)
+    return figure_from_dict(data)
+
+
+def figure_from_csv(text: str):
+    """Rebuild a FigureResult from :func:`figure_to_csv`'s long form.
+
+    CSV carries no types: x positions and values come back as strings, which
+    is what the long form wrote for categorical axes; numeric consumers
+    (:func:`traffic_from_figure`) coerce per field.
+    """
+    from repro.experiments.results import FigureResult
+
+    rows = list(csv.reader(io.StringIO(text)))
+    if not rows or len(rows[0]) != 5 or rows[0][:3] != ["figure", "panel", "series"]:
+        raise ExportError("not a figure CSV (missing the long-form header)")
+    x_label = rows[0][3]
+    figure_name = ""
+    x_values: List[Any] = []
+    panels: Dict[str, Dict[str, List[Any]]] = {}
+    for line, row in enumerate(rows[1:], start=2):
+        if len(row) != 5:
+            raise ExportError("line %d: expected 5 columns, got %d" % (line, len(row)))
+        figure_name, panel, series, x, value = row
+        if x not in x_values:
+            x_values.append(x)
+        panels.setdefault(panel, {}).setdefault(series, []).append(value)
+    return FigureResult(
+        figure=figure_name,
+        title=figure_name,
+        x_label=x_label,
+        x_values=x_values,
+        panels=panels,
+    )
+
+
+# -- traffic summaries --------------------------------------------------------------
+
+
+def traffic_to_figure(
+    results: Mapping[str, Any],
+    figure: str = "traffic",
+    title: str = "Sustained-load traffic summary",
+    x_label: str = "tenant",
+    notes: str = "",
+):
+    """Flatten traffic summaries into a FigureResult for CSV/JSON export.
+
+    ``results`` maps a label (tenant name, runtime mode, or ``cluster`` for
+    the rollup) to a :class:`~repro.traffic.slo.TrafficSummary`.  The label
+    becomes the x position; each panel/series pair is one statistic, so the
+    long-form CSV reads ``traffic,latency,p99_s,steady,0.123``.
+    """
+    from repro.experiments.results import FigureResult
+
+    if not results:
+        raise ExportError("no traffic summaries to export")
+    result = FigureResult(
+        figure=figure,
+        title=title,
+        x_label=x_label,
+        x_values=list(results),
+        notes=notes,
+    )
+    for label, summary in results.items():
+        for panel in _TRAFFIC_LATENCY_PANELS:
+            distribution = getattr(summary, panel)
+            for series in _TRAFFIC_LATENCY_SERIES:
+                result.add_point(panel, series, getattr(distribution, series))
+        for series in _TRAFFIC_VOLUME_SERIES:
+            result.add_point("volume", series, getattr(summary, series))
+        for series in _TRAFFIC_SCALING_SERIES:
+            result.add_point("scaling", series, getattr(summary, series))
+        result.add_point("scaling", "goodput_rps", summary.goodput_rps)
+        result.add_point("meta", "mode", summary.mode)
+        result.add_point("meta", "pattern", summary.pattern)
+    return result
+
+
+def multi_tenant_to_figure(summary, figure: str = "traffic", **kwargs):
+    """Export a MultiTenantSummary: every tenant plus the cluster rollup.
+
+    The fairness policy and per-tenant weights travel as ``meta`` panel
+    series (the cluster row carries the summed weight), so they survive
+    the CSV long form as well as JSON — ``notes`` only exists in JSON.
+    """
+    labelled: Dict[str, Any] = dict(summary.tenants)
+    if "cluster" in labelled:
+        raise ExportError("tenant name 'cluster' collides with the rollup row")
+    labelled["cluster"] = summary.cluster
+    notes = "fairness=%s weights=%s" % (
+        summary.fairness,
+        json.dumps(dict(summary.weights), sort_keys=True),
+    )
+    result = traffic_to_figure(labelled, figure=figure, notes=notes, **kwargs)
+    for label in result.x_values:
+        result.add_point("meta", "fairness", summary.fairness)
+        result.add_point(
+            "meta", "weight", summary.weights.get(label, sum(summary.weights.values()))
+        )
+    return result
+
+
+def traffic_from_figure(figure) -> Dict[str, Any]:
+    """Invert :func:`traffic_to_figure`: label -> TrafficSummary.
+
+    Works on figures parsed back from JSON *or* CSV (where all values are
+    strings): each field is coerced to its declared type.  The replica
+    timeline is not part of the export and comes back empty.
+    """
+    from repro.metrics.stats import LatencySummary
+    from repro.traffic.slo import TrafficSummary
+
+    def pick(panel: str, series: str, index: int) -> Any:
+        raw = pick_raw(panel, series, index)
+        if series in _TRAFFIC_INT_FIELDS:
+            return int(float(raw))
+        return float(raw)
+
+    def pick_raw(panel: str, series: str, index: int) -> Any:
+        try:
+            return figure.panels[panel][series][index]
+        except (KeyError, IndexError) as exc:
+            raise ExportError("figure is missing traffic field %s/%s: %s" % (panel, series, exc))
+
+    summaries: Dict[str, Any] = {}
+    for index, label in enumerate(figure.x_values):
+        distributions = {}
+        for panel in _TRAFFIC_LATENCY_PANELS:
+            distributions[panel] = LatencySummary(
+                **{series: pick(panel, series, index) for series in _TRAFFIC_LATENCY_SERIES}
+            )
+        summaries[str(label)] = TrafficSummary(
+            mode=str(pick_raw("meta", "mode", index)),
+            pattern=str(pick_raw("meta", "pattern", index)),
+            duration_s=pick("scaling", "duration_s", index),
+            offered=pick("volume", "offered", index),
+            completed=pick("volume", "completed", index),
+            timed_out=pick("volume", "timed_out", index),
+            dropped=pick("volume", "dropped", index),
+            latency=distributions["latency"],
+            queueing=distributions["queueing"],
+            service=distributions["service"],
+            cold_starts=pick("scaling", "cold_starts", index),
+            cold_start_seconds=pick("scaling", "cold_start_seconds", index),
+            replica_seconds=pick("scaling", "replica_seconds", index),
+            max_replicas=pick("scaling", "max_replicas", index),
+            replica_timeline=(),
+        )
+    return summaries
 
 
 def write_figure(result, path: str, fmt: str = "csv") -> str:

@@ -13,13 +13,23 @@ load: :meth:`IngressGateway.route_among` is the admission hook that routes
 only to replicas the engine considers ready and under their concurrency
 limit, and :meth:`IngressGateway.remove_replica` is the scale-down hook the
 autoscaler uses to reclaim idle replicas after their keep-alive expires.
+
+Admission queueing also lives here: :class:`FairQueue` keeps one bounded
+queue per tenant and decides dispatch order either globally FIFO (arrival
+order, tenant-blind) or by weighted fair queueing, where each tenant's
+share of dispatches converges to its weight under saturation and a
+starvation guard bounds how long any backlogged tenant can be passed over.
+The queue stores opaque items, so the gateway stays independent of the
+traffic subsystem's request type.
 """
 
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+import itertools
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.platform.deployment import DeployedFunction
 from repro.platform.function import FunctionSpec
@@ -36,6 +46,177 @@ class RoutingPolicy(enum.Enum):
 
     ROUND_ROBIN = "round_robin"
     LEAST_LOADED = "least_loaded"
+
+
+class FairnessPolicy(enum.Enum):
+    """How queued requests from different tenants are ordered for dispatch."""
+
+    FIFO = "fifo"  # one logical global queue: strict arrival order
+    WFQ = "wfq"    # weighted fair queueing across per-tenant queues
+
+
+@dataclass
+class TenantQueueStats:
+    """Per-tenant admission accounting (drops and timeouts happen here)."""
+
+    tenant: str
+    weight: int
+    enqueued: int = 0
+    dispatched: int = 0
+    dropped: int = 0
+    timed_out: int = 0
+
+
+@dataclass
+class _TenantQueue:
+    """One tenant's bounded FIFO plus its fair-queueing state."""
+
+    name: str
+    weight: int
+    index: int  # registration order: the deterministic tie-breaker
+    items: Deque[Tuple[int, int, object]] = field(default_factory=deque)
+    live: Set[int] = field(default_factory=set)
+    finish_tag: float = 0.0
+    skipped: int = 0
+    stats: TenantQueueStats = None  # type: ignore[assignment]
+
+
+class FairQueue:
+    """Per-tenant admission queues with FIFO or weighted-fair dispatch.
+
+    WFQ is the classic virtual-time scheme, applied per request (the traffic
+    engine's requests within one tenant are near-uniform in cost): each
+    tenant carries a finish tag advanced by ``1/weight`` per dispatch, and
+    the backlogged tenant with the smallest tag goes first.  A tenant that
+    was idle re-enters at the current virtual time, so silence banks no
+    credit — a bursty tenant cannot monopolise the cluster on arrival.  The
+    starvation guard promotes any backlogged tenant that ``starvation_guard``
+    consecutive dispatches have passed over, bounding worst-case head-of-line
+    wait even under extreme weight ratios.
+
+    Cancelled items (queue timeouts) are removed lazily: the id leaves
+    ``live`` immediately and the ghost entry is discarded when it reaches
+    the head, so expiry stays O(1) under heavy overload.
+    """
+
+    def __init__(
+        self,
+        policy: FairnessPolicy = FairnessPolicy.FIFO,
+        starvation_guard: int = 32,
+    ) -> None:
+        if starvation_guard < 1:
+            raise GatewayError("starvation_guard must be >= 1")
+        self.policy = policy
+        self.starvation_guard = starvation_guard
+        self._tenants: Dict[str, _TenantQueue] = {}
+        self._seq = itertools.count()
+        self._virtual = 0.0
+
+    # -- tenant management ---------------------------------------------------------
+
+    def register_tenant(self, tenant: str, weight: int = 1) -> None:
+        if weight < 1:
+            raise GatewayError("tenant weight must be >= 1, got %r" % weight)
+        if tenant in self._tenants:
+            raise GatewayError("tenant %r is already registered" % tenant)
+        queue = _TenantQueue(name=tenant, weight=weight, index=len(self._tenants))
+        queue.stats = TenantQueueStats(tenant=tenant, weight=weight)
+        self._tenants[tenant] = queue
+
+    @property
+    def tenants(self) -> List[str]:
+        return list(self._tenants)
+
+    def weights(self) -> Dict[str, int]:
+        return {name: queue.weight for name, queue in self._tenants.items()}
+
+    def stats(self, tenant: str) -> TenantQueueStats:
+        return self._require(tenant).stats
+
+    def all_stats(self) -> Dict[str, TenantQueueStats]:
+        return {name: queue.stats for name, queue in self._tenants.items()}
+
+    # -- queue operations ----------------------------------------------------------
+
+    def enqueue(self, tenant: str, item_id: int, item: object, limit: Optional[int] = None) -> bool:
+        """Admit one item; ``False`` means the tenant's queue was full (drop)."""
+        queue = self._require(tenant)
+        if limit is not None and len(queue.live) >= limit:
+            queue.stats.dropped += 1
+            return False
+        if not queue.live and self.policy is FairnessPolicy.WFQ:
+            # Re-entering after idleness: catch up to the current virtual
+            # time so the backlog built by others is not leapfrogged, and
+            # shed any stale skip count — a fresh backlog has earned no
+            # starvation-guard promotion.
+            queue.finish_tag = max(queue.finish_tag, self._virtual)
+            queue.skipped = 0
+        queue.items.append((next(self._seq), item_id, item))
+        queue.live.add(item_id)
+        queue.stats.enqueued += 1
+        return True
+
+    def cancel(self, tenant: str, item_id: int) -> bool:
+        """Remove a waiting item (queue timeout); ``False`` if already gone."""
+        queue = self._require(tenant)
+        if item_id not in queue.live:
+            return False
+        queue.live.discard(item_id)
+        queue.stats.timed_out += 1
+        return True
+
+    def depth(self, tenant: str) -> int:
+        return len(self._require(tenant).live)
+
+    def total_depth(self) -> int:
+        return sum(len(queue.live) for queue in self._tenants.values())
+
+    def dispatch_order(self) -> List[str]:
+        """Backlogged tenants in the order dispatch should try them.
+
+        Callers may serve a later tenant when an earlier one has no eligible
+        replica (work conservation); committing a dispatch goes through
+        :meth:`pop`, which is where tags, skip counters and stats advance.
+        """
+        backlogged = [queue for queue in self._tenants.values() if self._head(queue) is not None]
+        if self.policy is FairnessPolicy.FIFO:
+            backlogged.sort(key=lambda queue: queue.items[0][0])
+            return [queue.name for queue in backlogged]
+        starved = [queue for queue in backlogged if queue.skipped >= self.starvation_guard]
+        rest = [queue for queue in backlogged if queue.skipped < self.starvation_guard]
+        starved.sort(key=lambda queue: (-queue.skipped, queue.finish_tag, queue.index))
+        rest.sort(key=lambda queue: (queue.finish_tag, queue.index))
+        return [queue.name for queue in starved + rest]
+
+    def pop(self, tenant: str) -> object:
+        """Commit one dispatch from ``tenant`` and return the item."""
+        queue = self._require(tenant)
+        if self._head(queue) is None:
+            raise GatewayError("tenant %r has no queued requests" % tenant)
+        _, item_id, item = queue.items.popleft()
+        queue.live.discard(item_id)
+        queue.stats.dispatched += 1
+        if self.policy is FairnessPolicy.WFQ:
+            self._virtual = max(self._virtual, queue.finish_tag)
+            queue.finish_tag += 1.0 / queue.weight
+            queue.skipped = 0
+            for other in self._tenants.values():
+                if other is not queue and other.live:
+                    other.skipped += 1
+        return item
+
+    # -- internals -----------------------------------------------------------------
+
+    def _head(self, queue: _TenantQueue) -> Optional[Tuple[int, int, object]]:
+        """The first live entry, discarding cancelled ghosts on the way."""
+        while queue.items and queue.items[0][1] not in queue.live:
+            queue.items.popleft()
+        return queue.items[0] if queue.items else None
+
+    def _require(self, tenant: str) -> _TenantQueue:
+        if tenant not in self._tenants:
+            raise GatewayError("tenant %r is not registered with the queue" % tenant)
+        return self._tenants[tenant]
 
 
 #: Fixed per-request ingress cost (routing table lookup, connection handling).
@@ -56,9 +237,13 @@ class IngressGateway:
         self,
         orchestrator: Orchestrator,
         policy: RoutingPolicy = RoutingPolicy.ROUND_ROBIN,
+        fairness: FairnessPolicy = FairnessPolicy.FIFO,
+        starvation_guard: int = 32,
     ) -> None:
         self.orchestrator = orchestrator
         self.policy = policy
+        #: Admission queues (per tenant); drivers register tenants and weights.
+        self.queue = FairQueue(policy=fairness, starvation_guard=starvation_guard)
         self._pools: Dict[str, List[_ReplicaState]] = {}
         self._round_robin_cursor: Dict[str, int] = {}
         self._replica_serial: Dict[str, int] = {}
@@ -104,16 +289,31 @@ class IngressGateway:
     def replicas(self, function: str) -> List[DeployedFunction]:
         return [state.deployed for state in self._require_pool(function)]
 
-    def scale_to(self, spec: FunctionSpec, replicas: int) -> None:
-        """Grow the pool to ``replicas`` instances.
+    def scale_to(self, spec: FunctionSpec, replicas: int, allow_shrink: bool = False) -> None:
+        """Grow (or, with ``allow_shrink``, shrink) the pool to ``replicas``.
 
-        Scale-down is a separate, per-replica operation
+        By default scale-down is a separate, per-replica operation
         (:meth:`remove_replica`) because only the caller knows which replicas
-        are idle and safe to reclaim.
+        are idle and safe to reclaim.  ``allow_shrink=True`` reclaims idle
+        replicas (newest first) down to the target, raising if too many
+        still have requests in flight.
         """
+        if replicas < 0:
+            raise GatewayError("replicas must be non-negative")
         current = len(self._pools.get(spec.name, []))
         if replicas > current:
             self.register(spec, replicas=replicas - current)
+        elif replicas < current and allow_shrink:
+            pool = self._require_pool(spec.name)
+            idle = [state.deployed for state in reversed(pool) if state.in_flight == 0]
+            needed = current - replicas
+            if len(idle) < needed:
+                raise GatewayError(
+                    "cannot shrink %r to %d replicas: only %d of %d are idle"
+                    % (spec.name, replicas, len(idle), current)
+                )
+            for deployed in idle[:needed]:
+                self.remove_replica(spec.name, deployed)
 
     def remove_replica(self, function: str, deployed: DeployedFunction) -> None:
         """Reclaim one replica (autoscaler keep-alive expiry).

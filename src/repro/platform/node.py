@@ -153,6 +153,37 @@ class ClusterNode:
             wasi=wasi,
         )
 
+    # -- teardown -------------------------------------------------------------------
+
+    def undeploy(self, deployed: DeployedFunction) -> Optional[str]:
+        """Release everything ``deployed`` holds on this node.
+
+        Containers are stopped through containerd (which exits the sandbox
+        process) and their process is reaped from the kernel table.  Wasm
+        deployments terminate their module instance; when that leaves the VM
+        empty, the shim process driving it is exited and reaped too, and the
+        retired VM's name is returned so the orchestrator can drop any
+        VM-sharing entry pointing at it.
+        """
+        if deployed.node_name != self.name:
+            raise NodeError(
+                "function %r is deployed on %r, not %r"
+                % (deployed.name, deployed.node_name, self.name)
+            )
+        if not deployed.is_wasm:
+            sandbox = deployed.require_container()
+            self.containerd.stop(sandbox.bundle.name)
+            self.kernel.reap(deployed.process.pid)
+            return None
+        vm = deployed.vm
+        vm.terminate(deployed.spec.name)
+        if vm.instances:
+            return None  # other colocated functions still share this VM
+        process = self._vm_processes.pop(vm.name, None)
+        if process is not None:
+            self.kernel.reap(process.pid)
+        return vm.name
+
     def _vm_process(self, vm: WasmVM):
         if vm.name not in self._vm_processes:
             raise NodeError(

@@ -120,6 +120,18 @@ class Orchestrator:
         return dict(self._deployments)
 
     def undeploy(self, name: str) -> None:
+        """Remove a deployment and release its resources on the node.
+
+        The node stops the container sandbox or terminates the Wasm module
+        instance, exiting and reaping the backing process once nothing uses
+        it.  If that retires a shared VM, the sharing entry is dropped so a
+        later deploy with the same key creates (and pays for) a fresh VM.
+        """
         if name not in self._deployments:
             raise PlacementError("function %r is not deployed" % name)
-        del self._deployments[name]
+        deployed = self._deployments.pop(name)
+        retired_vm = self.cluster.node(deployed.node_name).undeploy(deployed)
+        if retired_vm is not None:
+            self._shared_vms = {
+                key: vm for key, vm in self._shared_vms.items() if vm.name != retired_vm
+            }

@@ -15,11 +15,15 @@ measures the platform under *sustained* load, the regime the ROADMAP's
   modelled cold start and reclaims replicas idle past their keep-alive;
 * :mod:`repro.traffic.slo` — per-request accounting rolled into p50/p95/p99
   latency, queueing delay, timeout/drop counts and goodput;
-* :mod:`repro.traffic.report` — the plain-text report
+* :mod:`repro.traffic.tenants` — multi-tenant runs: tenant specs with
+  weights and derived seeds, weight-proportional capacity arbitration, and
+  the per-tenant/cluster rollup shared-cluster runs produce;
+* :mod:`repro.traffic.report` — the plain-text reports
   ``python -m repro traffic`` prints.
 
-This opens a scenario axis the paper never swept: load level x arrival
-pattern x runtime, under identical seeded arrival streams.
+This opens scenario axes the paper never swept: load level x arrival
+pattern x runtime under identical seeded arrival streams, and tenant mix x
+gateway fairness policy over one contended cluster (noisy neighbours).
 """
 
 from repro.traffic.arrivals import (
@@ -41,15 +45,25 @@ from repro.traffic.autoscaler import (
     ScalingPolicy,
     TargetConcurrencyPolicy,
 )
+from repro.platform.gateway import FairnessPolicy, FairQueue, TenantQueueStats
 from repro.traffic.engine import (
     TRAFFIC_MODES,
+    MultiTenantTrafficEngine,
     TrafficConfig,
     TrafficEngine,
     TrafficEngineError,
     run_comparison,
 )
 from repro.traffic.slo import RequestOutcome, RequestRecord, TrafficSummary, summarize
-from repro.traffic.report import render_traffic_report
+from repro.traffic.tenants import (
+    CapacityArbiter,
+    MultiTenantSummary,
+    TenantError,
+    TenantSpec,
+    derived_seed,
+    parse_tenants,
+)
+from repro.traffic.report import render_multi_tenant_report, render_traffic_report
 
 __all__ = [
     "ArrivalError",
@@ -70,11 +84,22 @@ __all__ = [
     "TRAFFIC_MODES",
     "TrafficConfig",
     "TrafficEngine",
+    "MultiTenantTrafficEngine",
     "TrafficEngineError",
     "run_comparison",
     "RequestOutcome",
     "RequestRecord",
     "TrafficSummary",
     "summarize",
+    "FairnessPolicy",
+    "FairQueue",
+    "TenantQueueStats",
+    "TenantSpec",
+    "TenantError",
+    "CapacityArbiter",
+    "MultiTenantSummary",
+    "derived_seed",
+    "parse_tenants",
     "render_traffic_report",
+    "render_multi_tenant_report",
 ]

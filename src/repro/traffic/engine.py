@@ -1,7 +1,7 @@
 """The traffic engine: sustained multi-client load as a discrete-event run.
 
 The paper measures one transfer at a time; this engine measures the
-*platform*: a seeded arrival stream is admitted through the
+*platform*: seeded arrival streams are admitted through the
 :class:`~repro.platform.gateway.IngressGateway`, queued while replicas are
 busy or still cold-starting, executed with bounded per-replica and per-node
 concurrency, and accounted per request with queueing delay separated from
@@ -10,14 +10,22 @@ loop each control interval, growing the pool (paying the runtime's modelled
 cold start through the orchestrator) and reclaiming replicas idle past
 their keep-alive.
 
+Runs can be multi-tenant: a :class:`~repro.traffic.tenants.TenantSpec` list
+drives several named functions concurrently over *one* shared cluster, so
+their replica pools contend for the same node cores.  Queueing lives in the
+gateway's :class:`~repro.platform.gateway.FairQueue` — per-tenant queues
+dispatched either globally FIFO or by weighted fair queueing — and a
+:class:`~repro.traffic.tenants.CapacityArbiter` keeps any one tenant's
+autoscaler from absorbing the whole cluster.  The single-stream
+:class:`TrafficEngine` is the one-tenant special case of the same machine.
+
 Service times come from the same machinery as every figure in the
-reproduction: each distinct payload size is invoked once through an
+reproduction: each distinct (mode, payload size) is invoked once through an
 isolated :func:`~repro.experiments.environment.build_pair_setup`
-environment (Invoker + channel for the chosen mode) and cached — the
-simulation is deterministic, so the per-request cost of a given transfer
-never varies.  Contention is then modelled by the engine's concurrency
-bounds rather than by re-simulating every transfer, which keeps
-hundred-thousand-request runs cheap.
+environment and cached — the simulation is deterministic, so the
+per-request cost of a given transfer never varies.  Contention is then
+modelled by the engine's concurrency bounds rather than by re-simulating
+every transfer, which keeps hundred-thousand-request runs cheap.
 
 Everything is driven by one :class:`~repro.sim.engine.EventLoop`, so a
 seeded run is exactly reproducible: same arrivals, same scaling decisions,
@@ -26,15 +34,14 @@ same percentiles.
 
 from __future__ import annotations
 
-from collections import deque
 from dataclasses import dataclass, field
-from typing import Deque, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.experiments.environment import build_pair_setup
 from repro.platform.deployment import DeployedFunction
 from repro.platform.cluster import Cluster
 from repro.platform.function import FunctionSpec
-from repro.platform.gateway import IngressGateway, RoutingPolicy
+from repro.platform.gateway import FairnessPolicy, IngressGateway, RoutingPolicy
 from repro.platform.orchestrator import Orchestrator
 from repro.sim.clock import SimClock
 from repro.sim.costs import CostModel, DEFAULT_COST_MODEL
@@ -43,6 +50,7 @@ from repro.sim.ledger import CostCategory, CostLedger
 from repro.traffic.arrivals import Request
 from repro.traffic.autoscaler import Autoscaler, LoadSample, TargetConcurrencyPolicy
 from repro.traffic.slo import RequestOutcome, RequestRecord, TrafficSummary, summarize
+from repro.traffic.tenants import CapacityArbiter, MultiTenantSummary, TenantSpec
 from repro.wasm.runtime import RuntimeKind
 from repro.workloads.generators import make_payload
 
@@ -69,9 +77,9 @@ class TrafficConfig:
     nodes: int = 4
     #: Concurrent requests one replica serves (1 = FaaS single-concurrency).
     per_replica_concurrency: int = 1
-    #: Replicas registered (and cold-started) before the first arrival.
+    #: Replicas registered (and cold-started) per tenant before the first arrival.
     initial_replicas: int = 1
-    #: Admission bound: arrivals beyond this queue depth are dropped.
+    #: Admission bound per tenant: arrivals beyond this queue depth are dropped.
     max_queue: int = 10_000
     #: Requests queued longer than this time out (never reach a replica).
     queue_timeout_s: float = 30.0
@@ -107,7 +115,31 @@ class _Replica:
     idle_since: float = 0.0
 
 
-def _spec_for_mode(mode: str, function: str) -> FunctionSpec:
+@dataclass
+class _TenantState:
+    """Everything the engine tracks for one tenant during a run."""
+
+    spec: TenantSpec
+    function_spec: FunctionSpec
+    autoscaler: Autoscaler
+    requests: List[Request]
+    replicas: List[_Replica] = field(default_factory=list)
+    by_name: Dict[str, _Replica] = field(default_factory=dict)
+    records: List[RequestRecord] = field(default_factory=list)
+    timeline: List[Tuple[float, int]] = field(default_factory=list)
+    cold_starts: int = 0
+    cold_start_seconds: float = 0.0
+
+    @property
+    def name(self) -> str:
+        return self.spec.name
+
+    @property
+    def function(self) -> str:
+        return self.spec.function_name
+
+
+def _spec_for_mode(mode: str, function: str, tenant: str = "tenant-1") -> FunctionSpec:
     if mode == "runc-http":
         kind = RuntimeKind.RUNC
     elif mode == "wasmedge-http":
@@ -119,12 +151,459 @@ def _spec_for_mode(mode: str, function: str) -> FunctionSpec:
         runtime=kind,
         requires_wasi=kind is not RuntimeKind.RUNC,
         workflow="traffic",
-        tenant="tenant-1",
+        tenant=tenant,
     )
 
 
+class MultiTenantTrafficEngine:
+    """Drives several tenants' arrival streams over one shared cluster."""
+
+    def __init__(
+        self,
+        tenants: Sequence[TenantSpec],
+        config: Optional[TrafficConfig] = None,
+        fairness: FairnessPolicy = FairnessPolicy.WFQ,
+        starvation_guard: int = 32,
+        autoscaler_factory: Optional[Callable[[], Autoscaler]] = None,
+        oversubscription: float = 2.0,
+        service_cache: Optional[Dict[Tuple[str, int], float]] = None,
+    ) -> None:
+        if not tenants:
+            raise TrafficEngineError("need at least one tenant")
+        names = [tenant.name for tenant in tenants]
+        if len(set(names)) != len(names):
+            raise TrafficEngineError("tenant names must be unique, got %s" % names)
+        if "cluster" in names:
+            raise TrafficEngineError(
+                "tenant name 'cluster' is reserved for the cluster-wide rollup"
+            )
+        functions = [tenant.function_name for tenant in tenants]
+        if len(set(functions)) != len(functions):
+            raise TrafficEngineError("tenant functions must be unique, got %s" % functions)
+        for tenant in tenants:
+            if tenant.mode not in TRAFFIC_MODES:
+                raise TrafficEngineError(
+                    "tenant %r: unknown traffic mode %r (known: %s)"
+                    % (tenant.name, tenant.mode, ", ".join(TRAFFIC_MODES))
+                )
+        if oversubscription < 1.0:
+            raise TrafficEngineError("oversubscription must be >= 1.0")
+        if starvation_guard < 1:
+            raise TrafficEngineError("starvation_guard must be >= 1")
+        self.tenants = list(tenants)
+        self.config = config or TrafficConfig()
+        self.fairness = fairness
+        self.starvation_guard = starvation_guard
+        self.oversubscription = oversubscription
+        self.autoscaler_factory = autoscaler_factory or (
+            lambda: Autoscaler(TargetConcurrencyPolicy(1.0))
+        )
+        self.clock = SimClock()
+        self._service_cache: Dict[Tuple[str, int], float] = (
+            service_cache if service_cache is not None else {}
+        )
+        #: Per-tenant records of the last run (sorted by request id).
+        self.records: Dict[str, List[RequestRecord]] = {}
+
+    # -- public API -----------------------------------------------------------------
+
+    def run(self) -> MultiTenantSummary:
+        """Admit, queue, execute and account every tenant's stream."""
+        states = [
+            _TenantState(
+                spec=tenant,
+                function_spec=_spec_for_mode(tenant.mode, tenant.function_name, tenant.name),
+                autoscaler=self.autoscaler_factory(),
+                requests=tenant.generate(),
+            )
+            for tenant in self.tenants
+        ]
+        total_requests = sum(len(state.requests) for state in states)
+        if total_requests == 0:
+            raise TrafficEngineError("cannot run with zero requests across all tenants")
+        self.records = {}
+
+        # The shared serving cluster: every tenant's pool lives behind one
+        # gateway, every charge lands on one ledger timestamped on the
+        # engine's simulated clock, and every replica competes for the same
+        # node cores.
+        self.clock.reset()
+        cluster = Cluster(
+            cost_model=self.config.cost_model,
+            ledger=CostLedger(clock=self.clock, name="traffic"),
+        )
+        for index in range(self.config.nodes):
+            cluster.add_node("traffic-%d" % index)
+        orchestrator = Orchestrator(cluster)
+        gateway = IngressGateway(
+            orchestrator,
+            policy=self.config.routing,
+            fairness=self.fairness,
+            starvation_guard=self.starvation_guard,
+        )
+        for state in states:
+            gateway.queue.register_tenant(state.name, state.spec.weight)
+
+        loop = EventLoop()
+        by_tenant = {state.name: state for state in states}
+        # Cores bound execution; replica *slots* may oversubscribe them.
+        # With oversubscription 1.0 pools partition the cores and queueing
+        # order is moot; above 1.0 pools overlap on cores and the fair
+        # queue decides who gets a freed core — the contended regime
+        # noisy-neighbour scenarios study.
+        capacity = sum(cluster.node(name).cores for name in cluster.nodes)
+        slots = max(capacity, int(capacity * self.oversubscription))
+        arbiter = CapacityArbiter(slots, {state.name: state.spec.weight for state in states})
+        run_state = {"remaining": total_requests, "last_event_s": 0.0}
+
+        def note(now: float) -> None:
+            run_state["last_event_s"] = max(run_state["last_event_s"], now)
+            self.clock.advance_to(loop.now)
+
+        def pool_sizes() -> Dict[str, int]:
+            return {state.name: len(state.replicas) for state in states}
+
+        def demand_snapshot() -> Dict[str, int]:
+            """Replicas each tenant's load wants right now (queued + in flight).
+
+            The arbiter reserves unmet guarantees only up to this demand, so
+            idle tenants lend their share instead of stranding slots.
+            """
+            return {
+                state.name: gateway.queue.depth(state.name)
+                + (gateway.total_in_flight(state.function) if state.replicas else 0)
+                for state in states
+            }
+
+        def add_replicas(state: _TenantState, count: int, now: float) -> None:
+            """Register ``count`` replicas, each paying its modelled cold start.
+
+            Replicas never share a VM here: after a scale-to-zero the next
+            scale-up must pay the full cold start again, so a cached warm VM
+            would flatter whichever runtime got to keep it.
+            """
+            for _ in range(count):
+                before = cluster.ledger.seconds(CostCategory.COLD_START)
+                deployed = gateway.register(state.function_spec, replicas=1, charge_cold_start=True)[0]
+                cold = cluster.ledger.seconds(CostCategory.COLD_START) - before
+                state.cold_starts += 1
+                state.cold_start_seconds += cold
+                replica = _Replica(
+                    deployed=deployed, ready_at=now + cold, cold_s=cold, idle_since=now + cold
+                )
+                state.replicas.append(replica)
+                state.by_name[deployed.name] = replica
+                loop.schedule_at(now + cold, lambda: dispatch(loop.now), label="warm")
+
+        def load_snapshot() -> Tuple[Dict[str, int], Dict[str, Dict[str, int]]]:
+            """One pass over the gateway's in-flight counters.
+
+            Returns per-node busy totals (across *all* tenants' replicas —
+            the shared-core contention bound) plus each tenant's per-replica
+            counts, so one dispatch iteration builds the dicts exactly once.
+            """
+            busy: Dict[str, int] = {}
+            counts: Dict[str, Dict[str, int]] = {}
+            for state in states:
+                if not state.replicas:
+                    counts[state.name] = {}
+                    continue
+                tenant_counts = gateway.in_flight(state.function)
+                counts[state.name] = tenant_counts
+                for replica in state.replicas:
+                    node = replica.deployed.node_name
+                    busy[node] = busy.get(node, 0) + tenant_counts[replica.deployed.name]
+            return busy, counts
+
+        def eligible(
+            state: _TenantState,
+            now: float,
+            busy: Dict[str, int],
+            counts: Dict[str, int],
+        ) -> List[_Replica]:
+            return [
+                replica
+                for replica in state.replicas
+                if replica.ready_at <= now
+                and counts[replica.deployed.name] < self.config.per_replica_concurrency
+                and busy.get(replica.deployed.node_name, 0)
+                < cluster.node(replica.deployed.node_name).cores
+            ]
+
+        def dispatch(now: float) -> None:
+            """Move queued requests onto available replicas.
+
+            The gateway's fair queue decides which tenant to try first; a
+            tenant whose pool has no eligible replica is passed over (work
+            conservation) without losing its place in the fair order.
+            """
+            while True:
+                served = False
+                busy, counts = load_snapshot()
+                for tenant_name in gateway.queue.dispatch_order():
+                    state = by_tenant[tenant_name]
+                    candidates = eligible(state, now, busy, counts[state.name])
+                    if not candidates:
+                        continue
+                    request = gateway.queue.pop(tenant_name)
+                    deployed = gateway.route_among(
+                        state.function, [replica.deployed for replica in candidates]
+                    )
+                    replica = state.by_name[deployed.name]
+                    service = self._service_time(state.spec.mode, request.payload_bytes)
+                    # The part of this request's wait actually spent watching
+                    # its replica cold-start: the overlap of [arrival,
+                    # dispatch] with the warm-up window, not the whole delay.
+                    cold_wait = max(0.0, min(replica.cold_s, replica.ready_at - request.arrival_s))
+                    completion = now + service
+                    note(completion)
+
+                    def complete(
+                        state: _TenantState = state,
+                        request: Request = request,
+                        replica: _Replica = replica,
+                        dispatched: float = now,
+                        completion: float = completion,
+                        cold_wait: float = cold_wait,
+                    ) -> None:
+                        gateway.release(state.function, replica.deployed)
+                        replica.idle_since = completion
+                        state.records.append(
+                            RequestRecord(
+                                request_id=request.request_id,
+                                function=state.function,
+                                outcome=RequestOutcome.COMPLETED,
+                                arrival_s=request.arrival_s,
+                                dispatch_s=dispatched,
+                                completion_s=completion,
+                                replica=replica.deployed.name,
+                                cold_start_wait_s=cold_wait,
+                            )
+                        )
+                        run_state["remaining"] -= 1
+                        dispatch(loop.now)
+
+                    loop.schedule_at(completion, complete, label="complete")
+                    served = True
+                    break  # re-evaluate fair order after every dispatch
+                if not served:
+                    return
+
+        def arrive(state: _TenantState, request: Request) -> None:
+            note(request.arrival_s)
+            admitted = gateway.queue.enqueue(
+                state.name, request.request_id, request, limit=self.config.max_queue
+            )
+            if not admitted:
+                state.records.append(
+                    RequestRecord(
+                        request_id=request.request_id,
+                        function=state.function,
+                        outcome=RequestOutcome.DROPPED,
+                        arrival_s=request.arrival_s,
+                    )
+                )
+                run_state["remaining"] -= 1
+                return
+            loop.schedule_at(
+                request.arrival_s + self.config.queue_timeout_s,
+                lambda: expire(state, request),
+                label="timeout",
+            )
+            dispatch(loop.now)
+
+        def expire(state: _TenantState, request: Request) -> None:
+            """Time out a request still waiting when its patience ran out."""
+            if not gateway.queue.cancel(state.name, request.request_id):
+                return
+            state.records.append(
+                RequestRecord(
+                    request_id=request.request_id,
+                    function=state.function,
+                    outcome=RequestOutcome.TIMED_OUT,
+                    arrival_s=request.arrival_s,
+                )
+            )
+            run_state["remaining"] -= 1
+            note(loop.now)
+
+        def control_tick(state: _TenantState) -> None:
+            if run_state["remaining"] <= 0:
+                return
+            now = loop.now
+            sample = LoadSample(
+                time_s=now,
+                in_flight=gateway.total_in_flight(state.function) if state.replicas else 0,
+                queued=gateway.queue.depth(state.name),
+                replicas=len(state.replicas),
+            )
+            decision = state.autoscaler.evaluate(sample)
+            if decision.scale_up:
+                add_replicas(
+                    state,
+                    arbiter.grant(
+                        state.name, decision.scale_up, pool_sizes(), demand_snapshot()
+                    ),
+                    now,
+                )
+            elif decision.scale_down:
+                reclaim(state, decision.scale_down, now)
+            state.timeline.append((now, len(state.replicas)))
+            dispatch(now)
+            loop.schedule(
+                state.autoscaler.control_interval_s,
+                lambda: control_tick(state),
+                label="tick:%s" % state.name,
+            )
+
+        def reclaim(state: _TenantState, count: int, now: float) -> None:
+            """Remove up to ``count`` warm replicas idle past their keep-alive."""
+            counts = gateway.in_flight(state.function) if state.replicas else {}
+            idle = sorted(
+                (
+                    replica
+                    for replica in state.replicas
+                    if counts[replica.deployed.name] == 0
+                    and replica.ready_at <= now
+                    and state.autoscaler.reclaimable(now, replica.idle_since)
+                ),
+                key=lambda replica: replica.idle_since,
+            )
+            for replica in idle[:count]:
+                gateway.remove_replica(state.function, replica.deployed)
+                state.replicas.remove(replica)
+                del state.by_name[replica.deployed.name]
+
+        # Bootstrap: initial pools (arbitrated like autoscaled growth),
+        # arrival events in deterministic order, one control loop per tenant.
+        for state in states:
+            if self.config.initial_replicas:
+                add_replicas(
+                    state,
+                    arbiter.grant(state.name, self.config.initial_replicas, pool_sizes()),
+                    0.0,
+                )
+            state.timeline.append((0.0, len(state.replicas)))
+        arrival_order = sorted(
+            (
+                (request.arrival_s, index, request.request_id, state, request)
+                for index, state in enumerate(states)
+                for request in state.requests
+            ),
+            key=lambda entry: entry[:3],
+        )
+        for _, _, _, state, request in arrival_order:
+            loop.schedule_at(
+                request.arrival_s,
+                lambda state=state, request=request: arrive(state, request),
+                label="arrive",
+            )
+        for state in states:
+            loop.schedule(
+                state.autoscaler.control_interval_s,
+                lambda state=state: control_tick(state),
+                label="tick:%s" % state.name,
+            )
+        loop.run()
+
+        if run_state["remaining"] != 0:
+            raise TrafficEngineError(
+                "engine finished with %d unresolved requests" % run_state["remaining"]
+            )
+        last_arrival = max(
+            (request.arrival_s for state in states for request in state.requests),
+            default=0.0,
+        )
+        duration = max(run_state["last_event_s"], last_arrival)
+        return self._summarize(states, duration, gateway)
+
+    # -- summaries -------------------------------------------------------------------
+
+    def _summarize(
+        self,
+        states: Sequence[_TenantState],
+        duration: float,
+        gateway: IngressGateway,
+    ) -> MultiTenantSummary:
+        tenants: Dict[str, TrafficSummary] = {}
+        all_records: List[RequestRecord] = []
+        for state in states:
+            state.records.sort(key=lambda record: record.request_id)
+            self.records[state.name] = state.records
+            all_records.extend(state.records)
+            tenants[state.name] = summarize(
+                mode=state.spec.mode,
+                pattern=state.spec.pattern_name,
+                duration_s=duration,
+                records=state.records,
+                cold_starts=state.cold_starts,
+                cold_start_seconds=state.cold_start_seconds,
+                replica_timeline=state.timeline,
+            )
+        cluster = summarize(
+            mode="cluster",
+            pattern="multi-tenant",
+            duration_s=duration,
+            records=all_records,
+            cold_starts=sum(state.cold_starts for state in states),
+            cold_start_seconds=sum(state.cold_start_seconds for state in states),
+            replica_timeline=_merge_timelines([state.timeline for state in states]),
+        )
+        return MultiTenantSummary(
+            fairness=self.fairness.value,
+            weights=gateway.queue.weights(),
+            tenants=tenants,
+            cluster=cluster,
+            queue_stats=gateway.queue.all_stats(),
+        )
+
+    # -- service times ---------------------------------------------------------------
+
+    def _service_time(self, mode: str, payload_bytes: int) -> float:
+        """Workflow latency for one (mode, payload size), measured once and cached.
+
+        The measurement invokes the canonical two-function chain through a
+        fresh isolated environment for the tenant's mode — the same path
+        every figure in the reproduction uses.
+        """
+        key = (mode, payload_bytes)
+        cached = self._service_cache.get(key)
+        if cached is None:
+            setup = build_pair_setup(mode, cost_model=self.config.cost_model)
+            payload = make_payload(payload_bytes / MB)
+            cached = setup.invoker.invoke(setup.workflow, payload).total_latency_s
+            self._service_cache[key] = cached
+        return cached
+
+
+def _merge_timelines(
+    timelines: Sequence[Sequence[Tuple[float, int]]],
+) -> List[Tuple[float, int]]:
+    """Sum per-tenant (time, pool size) step functions into a cluster total."""
+    events = sorted(
+        (time_s, index, count)
+        for index, timeline in enumerate(timelines)
+        for time_s, count in timeline
+    )
+    current = [0] * len(timelines)
+    merged: List[Tuple[float, int]] = []
+    for time_s, index, count in events:
+        current[index] = count
+        total = sum(current)
+        if merged and merged[-1][0] == time_s:
+            merged[-1] = (time_s, total)
+        else:
+            merged.append((time_s, total))
+    return merged
+
+
 class TrafficEngine:
-    """Drives one arrival stream against one runtime mode."""
+    """Drives one arrival stream against one runtime mode.
+
+    The single-tenant special case of :class:`MultiTenantTrafficEngine`:
+    one function, one pool, a FIFO admission queue — exactly the regime the
+    sustained-load benchmarks compare runtimes under.
+    """
 
     def __init__(
         self,
@@ -141,266 +620,41 @@ class TrafficEngine:
         self.autoscaler = autoscaler or Autoscaler(TargetConcurrencyPolicy(1.0))
         self.records: List[RequestRecord] = []
         self.clock = SimClock()
-        self._service_cache: Dict[int, float] = {}
-
-    # -- public API -----------------------------------------------------------------
+        self._service_cache: Dict[Tuple[str, int], float] = {}
 
     def run(self, requests: Sequence[Request], pattern: str = "trace") -> TrafficSummary:
         """Admit, queue, execute and account every request in the stream."""
         if not requests:
             raise TrafficEngineError("cannot run an empty request stream")
-        self.records = []  # each run() reports only its own stream
         functions = {request.function for request in requests}
         if len(functions) != 1:
             raise TrafficEngineError(
                 "the engine serves one function per run, got %s" % sorted(functions)
             )
         function = requests[0].function
-
-        # Serving cluster: the gateway pool lives here and its ledger takes
-        # the ingress and cold-start charges of the run, timestamped on the
-        # engine's simulated clock.
-        self.clock.reset()
-        cluster = Cluster(
-            cost_model=self.config.cost_model,
-            ledger=CostLedger(clock=self.clock, name="traffic"),
-        )
-        for index in range(self.config.nodes):
-            cluster.add_node("traffic-%d" % index)
-        orchestrator = Orchestrator(cluster)
-        gateway = IngressGateway(orchestrator, policy=self.config.routing)
-        spec = _spec_for_mode(self.mode, function)
-
-        loop = EventLoop()
-        queue: Deque[Request] = deque()
-        queued_ids = set()
-        replicas: List[_Replica] = []
-        by_name: Dict[str, _Replica] = {}
-        timeline: List[Tuple[float, int]] = []
-        # Replicas beyond the cluster's core count can never execute (each
-        # in-flight request occupies one core), so the autoscaler is capped
-        # there — no cold starts are paid for capacity that cannot serve.
-        capacity = sum(cluster.node(name).cores for name in cluster.nodes)
-        state = {
-            "remaining": len(requests),
-            "last_event_s": 0.0,
-            "cold_start_seconds": 0.0,
-        }
-
-        def note(now: float) -> None:
-            state["last_event_s"] = max(state["last_event_s"], now)
-            self.clock.advance_to(loop.now)
-
-        def add_replicas(count: int, now: float) -> None:
-            """Register ``count`` replicas, each paying its modelled cold start.
-
-            Replicas never share a VM here: after a scale-to-zero the next
-            scale-up must pay the full cold start again, so a cached warm VM
-            would flatter whichever runtime got to keep it.
-            """
-            for _ in range(count):
-                before = cluster.ledger.seconds(CostCategory.COLD_START)
-                deployed = gateway.register(spec, replicas=1, charge_cold_start=True)[0]
-                cold = cluster.ledger.seconds(CostCategory.COLD_START) - before
-                state["cold_start_seconds"] += cold
-                replica = _Replica(
-                    deployed=deployed, ready_at=now + cold, cold_s=cold, idle_since=now + cold
-                )
-                replicas.append(replica)
-                by_name[deployed.name] = replica
-                loop.schedule_at(now + cold, lambda: dispatch(loop.now), label="warm")
-
-        def eligible(now: float) -> List[_Replica]:
-            if not replicas:
-                return []
-            counts = gateway.in_flight(function)
-            busy_by_node: Dict[str, int] = {}
-            for replica in replicas:
-                node = replica.deployed.node_name
-                busy_by_node[node] = busy_by_node.get(node, 0) + counts[replica.deployed.name]
-            return [
-                replica
-                for replica in replicas
-                if replica.ready_at <= now
-                and counts[replica.deployed.name] < self.config.per_replica_concurrency
-                and busy_by_node[replica.deployed.node_name]
-                < cluster.node(replica.deployed.node_name).cores
-            ]
-
-        def dispatch(now: float) -> None:
-            """Move queued requests onto available replicas (FIFO order)."""
-            while queue:
-                # Lazy deletion: timed-out requests stay in the deque as
-                # ghosts (removed from queued_ids) and are skipped here, so
-                # expiry stays O(1) even under heavy overload.
-                if queue[0].request_id not in queued_ids:
-                    queue.popleft()
-                    continue
-                candidates = eligible(now)
-                if not candidates:
-                    return
-                request = queue.popleft()
-                queued_ids.discard(request.request_id)
-                deployed = gateway.route_among(
-                    function, [replica.deployed for replica in candidates]
-                )
-                replica = by_name[deployed.name]
-                service = self._service_time(request.payload_bytes)
-                # The part of this request's wait actually spent watching its
-                # replica cold-start: the overlap of [arrival, dispatch] with
-                # the replica's warm-up window, not the whole queueing delay.
-                cold_wait = max(0.0, min(replica.cold_s, replica.ready_at - request.arrival_s))
-                completion = now + service
-                note(completion)
-
-                def complete(
-                    request: Request = request,
-                    replica: _Replica = replica,
-                    dispatched: float = now,
-                    completion: float = completion,
-                    cold_wait: float = cold_wait,
-                ) -> None:
-                    gateway.release(function, replica.deployed)
-                    replica.idle_since = completion
-                    self.records.append(
-                        RequestRecord(
-                            request_id=request.request_id,
-                            function=function,
-                            outcome=RequestOutcome.COMPLETED,
-                            arrival_s=request.arrival_s,
-                            dispatch_s=dispatched,
-                            completion_s=completion,
-                            replica=replica.deployed.name,
-                            cold_start_wait_s=cold_wait,
-                        )
-                    )
-                    state["remaining"] -= 1
-                    dispatch(loop.now)
-
-                loop.schedule_at(completion, complete, label="complete")
-
-        def arrive(request: Request) -> None:
-            note(request.arrival_s)
-            if len(queued_ids) >= self.config.max_queue:
-                self.records.append(
-                    RequestRecord(
-                        request_id=request.request_id,
-                        function=function,
-                        outcome=RequestOutcome.DROPPED,
-                        arrival_s=request.arrival_s,
-                    )
-                )
-                state["remaining"] -= 1
-                return
-            queue.append(request)
-            queued_ids.add(request.request_id)
-            loop.schedule_at(
-                request.arrival_s + self.config.queue_timeout_s,
-                lambda request=request: expire(request),
-                label="timeout",
-            )
-            dispatch(loop.now)
-
-        def expire(request: Request) -> None:
-            """Time out a request still waiting when its patience ran out.
-
-            The request stays in the deque as a ghost; ``dispatch`` discards
-            it when it reaches the head.
-            """
-            if request.request_id not in queued_ids:
-                return
-            queued_ids.discard(request.request_id)
-            self.records.append(
-                RequestRecord(
-                    request_id=request.request_id,
-                    function=function,
-                    outcome=RequestOutcome.TIMED_OUT,
-                    arrival_s=request.arrival_s,
-                )
-            )
-            state["remaining"] -= 1
-            note(loop.now)
-
-        def control_tick() -> None:
-            if state["remaining"] <= 0:
-                return
-            now = loop.now
-            sample = LoadSample(
-                time_s=now,
-                in_flight=gateway.total_in_flight(function) if replicas else 0,
-                queued=len(queued_ids),
-                replicas=len(replicas),
-            )
-            decision = self.autoscaler.evaluate(sample)
-            if decision.scale_up:
-                add_replicas(min(decision.scale_up, max(0, capacity - len(replicas))), now)
-            elif decision.scale_down:
-                reclaim(decision.scale_down, now)
-            timeline.append((now, len(replicas)))
-            dispatch(now)
-            loop.schedule(self.autoscaler.control_interval_s, control_tick, label="tick")
-
-        def reclaim(count: int, now: float) -> None:
-            """Remove up to ``count`` warm replicas idle past their keep-alive."""
-            counts = gateway.in_flight(function) if replicas else {}
-            idle = sorted(
-                (
-                    replica
-                    for replica in replicas
-                    if counts[replica.deployed.name] == 0
-                    and replica.ready_at <= now
-                    and self.autoscaler.reclaimable(now, replica.idle_since)
-                ),
-                key=lambda replica: replica.idle_since,
-            )
-            for replica in idle[:count]:
-                gateway.remove_replica(function, replica.deployed)
-                replicas.remove(replica)
-                del by_name[replica.deployed.name]
-
-        # Bootstrap: initial pool (capacity-capped like autoscaled growth),
-        # arrival events, the control loop.
-        if self.config.initial_replicas:
-            add_replicas(min(self.config.initial_replicas, capacity), 0.0)
-        timeline.append((0.0, len(replicas)))
-        ordered = sorted(requests, key=lambda r: (r.arrival_s, r.request_id))
-        for request in ordered:
-            loop.schedule_at(request.arrival_s, lambda request=request: arrive(request), label="arrive")
-        loop.schedule(self.autoscaler.control_interval_s, control_tick, label="tick")
-        loop.run()
-
-        if state["remaining"] != 0:
-            raise TrafficEngineError(
-                "engine finished with %d unresolved requests" % state["remaining"]
-            )
-        duration = max(state["last_event_s"], ordered[-1].arrival_s)
-        self.records.sort(key=lambda record: record.request_id)
-        return summarize(
+        ordered = tuple(sorted(requests, key=lambda r: (r.arrival_s, r.request_id)))
+        # Internal tenant label (the old engine's spec tenant): the caller's
+        # function name stays free of the multi-tenant name rules.
+        tenant = TenantSpec(
+            name="tenant-1",
             mode=self.mode,
+            weight=1,
+            requests=ordered,
+            function=function,
             pattern=pattern,
-            duration_s=duration,
-            records=self.records,
-            cold_starts=gateway.cold_starts,
-            cold_start_seconds=state["cold_start_seconds"],
-            replica_timeline=timeline,
         )
-
-    # -- service times ---------------------------------------------------------------
-
-    def _service_time(self, payload_bytes: int) -> float:
-        """Workflow latency for one payload size, measured once and cached.
-
-        The measurement invokes the canonical two-function chain through a
-        fresh isolated environment for this engine's mode — the same path
-        every figure in the reproduction uses.
-        """
-        cached = self._service_cache.get(payload_bytes)
-        if cached is None:
-            setup = build_pair_setup(self.mode, cost_model=self.config.cost_model)
-            payload = make_payload(payload_bytes / MB)
-            cached = setup.invoker.invoke(setup.workflow, payload).total_latency_s
-            self._service_cache[payload_bytes] = cached
-        return cached
+        engine = MultiTenantTrafficEngine(
+            [tenant],
+            config=self.config,
+            fairness=FairnessPolicy.FIFO,
+            autoscaler_factory=lambda: self.autoscaler,
+            oversubscription=1.0,  # replicas beyond the cores could never serve
+            service_cache=self._service_cache,
+        )
+        engine.clock = self.clock  # one simulated timeline across runs
+        result = engine.run()
+        self.records = engine.records["tenant-1"]
+        return result.tenants["tenant-1"]
 
 
 def run_comparison(

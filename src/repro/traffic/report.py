@@ -1,9 +1,9 @@
 """Plain-text rendering of sustained-load runs.
 
-One table of SLO numbers per compared runtime, one latency-distribution
-table (shared formatting with every other latency report in the
-reproduction), and a replica-count-over-time strip per mode so autoscaler
-behaviour is visible without plotting.
+One table of SLO numbers per compared runtime (or per tenant of a shared
+cluster), one latency-distribution table (shared formatting with every
+other latency report in the reproduction), and a replica-count-over-time
+strip per mode so autoscaler behaviour is visible without plotting.
 """
 
 from __future__ import annotations
@@ -12,12 +12,21 @@ from typing import Dict, List, Mapping, Sequence, Tuple
 
 from repro.metrics.report import format_latency_summaries, format_table
 from repro.traffic.slo import TrafficSummary
+from repro.traffic.tenants import MultiTenantSummary
 
 
-def render_summary_table(results: Mapping[str, TrafficSummary], title: str = "Traffic summary") -> str:
-    """The headline per-mode table: volume, goodput, scaling, cold starts."""
+def render_summary_table(
+    results: Mapping[str, TrafficSummary],
+    title: str = "Traffic summary",
+    label: str = "mode",
+) -> str:
+    """The headline table: volume, goodput, scaling, cold starts.
+
+    Rows are labelled by the mapping's keys — runtime modes for a
+    comparison run, tenant names for a shared-cluster run.
+    """
     headers = [
-        "mode",
+        label,
         "offered",
         "completed",
         "timed out",
@@ -31,7 +40,7 @@ def render_summary_table(results: Mapping[str, TrafficSummary], title: str = "Tr
     ]
     rows = [
         [
-            summary.mode,
+            key,
             summary.offered,
             summary.completed,
             summary.timed_out,
@@ -43,34 +52,35 @@ def render_summary_table(results: Mapping[str, TrafficSummary], title: str = "Tr
             summary.cold_starts,
             summary.cold_start_seconds,
         ]
-        for summary in results.values()
+        for key, summary in results.items()
     ]
     return format_table(headers, rows, title=title)
 
 
-def render_latency_tables(results: Mapping[str, TrafficSummary]) -> str:
-    """End-to-end latency and queueing-delay distributions, one row per mode."""
-    latency = {summary.mode: summary.latency for summary in results.values()}
-    queueing = {summary.mode: summary.queueing for summary in results.values()}
-    service = {summary.mode: summary.service for summary in results.values()}
+def render_latency_tables(results: Mapping[str, TrafficSummary], label: str = "mode") -> str:
+    """End-to-end latency and queueing-delay distributions, one row per key."""
+    latency = {key: summary.latency for key, summary in results.items()}
+    queueing = {key: summary.queueing for key, summary in results.items()}
+    service = {key: summary.service for key, summary in results.items()}
     return "\n\n".join(
         [
-            format_latency_summaries(latency, title="End-to-end latency", label="mode"),
-            format_latency_summaries(queueing, title="Queueing delay", label="mode"),
-            format_latency_summaries(service, title="Service time", label="mode"),
+            format_latency_summaries(latency, title="End-to-end latency", label=label),
+            format_latency_summaries(queueing, title="Queueing delay", label=label),
+            format_latency_summaries(service, title="Service time", label=label),
         ]
     )
 
 
 def render_replica_timeline(
-    summary: TrafficSummary, buckets: int = 12, width: int = 40
+    summary: TrafficSummary, buckets: int = 12, width: int = 40, label: str = ""
 ) -> str:
-    """An ASCII strip chart of pool size over the run for one mode."""
+    """An ASCII strip chart of pool size over the run for one mode/tenant."""
+    name = label or summary.mode
     if not summary.replica_timeline or summary.duration_s <= 0:
-        return "%s: no replica timeline" % summary.mode
+        return "%s: no replica timeline" % name
     samples = _bucketize(summary.replica_timeline, summary.duration_s, buckets)
     peak = max(count for _, count in samples) or 1
-    lines = ["replicas over time — %s" % summary.mode]
+    lines = ["replicas over time — %s" % name]
     for start, count in samples:
         bar = "#" * max(1 if count > 0 else 0, int(round(width * count / peak)))
         lines.append("  t=%7.1fs  %3d  %s" % (start, count, bar))
@@ -103,6 +113,39 @@ def _bucketize(
         peak = entering if peak is None else max(peak, entering)
         samples.append((start, peak))
     return samples
+
+
+def render_fairness_table(summary: MultiTenantSummary) -> str:
+    """Gateway admission accounting: weights, dispatches, drops, timeouts."""
+    headers = ["tenant", "weight", "enqueued", "dispatched", "dropped", "timed out"]
+    rows = [
+        [stats.tenant, stats.weight, stats.enqueued, stats.dispatched, stats.dropped, stats.timed_out]
+        for stats in summary.queue_stats.values()
+    ]
+    return format_table(headers, rows, title="Gateway fair queue (%s)" % summary.fairness)
+
+
+def render_multi_tenant_report(summary: MultiTenantSummary) -> str:
+    """The shared-cluster report: per-tenant tables, fairness, cluster rollup."""
+    labelled = dict(summary.tenants)
+    parts = [
+        "Multi-tenant load: %d tenants sharing one cluster, fairness=%s (simulated time)"
+        % (len(summary.tenants), summary.fairness),
+        "",
+        render_summary_table(labelled, title="Per-tenant summary", label="tenant"),
+        "",
+        render_fairness_table(summary),
+        "",
+        render_latency_tables(labelled, label="tenant"),
+        "",
+        render_summary_table({"cluster": summary.cluster}, title="Cluster rollup", label="scope"),
+        "",
+    ]
+    parts.extend(
+        render_replica_timeline(tenant_summary, label=name)
+        for name, tenant_summary in summary.tenants.items()
+    )
+    return "\n".join(parts)
 
 
 def render_traffic_report(results: Mapping[str, TrafficSummary]) -> str:

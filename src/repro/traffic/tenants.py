@@ -1,0 +1,316 @@
+"""Multi-tenant traffic: tenant specs, capacity arbitration, rollups.
+
+Middleware's defining concern is fair multiplexing of concurrent
+applications over shared infrastructure; this module gives the traffic
+engine the vocabulary for it.  A :class:`TenantSpec` names one tenant: the
+function it invokes, the runtime mode serving it, the arrival process
+generating its requests and the weight the gateway's fair queue grants it.
+A :class:`CapacityArbiter` splits the shared cluster's execution slots
+(cores) across tenants in weight proportion, so one tenant's autoscaler
+cannot starve another's guaranteed share.  A :class:`MultiTenantSummary`
+holds the per-tenant :class:`~repro.traffic.slo.TrafficSummary` rollups plus
+a cluster-wide aggregate, ready for the report and the CSV/JSON exporters.
+
+Seeds: tenants that do not pin an explicit seed derive one from the run's
+base seed and their name (:func:`derived_seed`), so every tenant sees an
+independent, reproducible stream and adding a tenant never perturbs the
+arrivals of the others.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import zlib
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.platform.gateway import TenantQueueStats
+from repro.traffic.arrivals import (
+    ArrivalProcess,
+    BurstyArrivals,
+    DiurnalArrivals,
+    PoissonArrivals,
+    Request,
+)
+from repro.traffic.slo import TrafficSummary
+
+
+class TenantError(ValueError):
+    """Raised for invalid tenant specifications or configs."""
+
+
+def derived_seed(base_seed: int, name: str) -> int:
+    """A per-tenant seed derived deterministically from a base seed.
+
+    CRC32 of the tenant name folded with the base seed: stable across
+    processes and Python versions (unlike ``hash``), and distinct names give
+    independent streams while the pair (base seed, name) always reproduces
+    the same one.
+    """
+    return (zlib.crc32(name.encode("utf-8")) ^ (base_seed * 0x9E3779B1)) & 0x7FFFFFFF
+
+
+@dataclass(frozen=True)
+class TenantSpec:
+    """One tenant of a shared-cluster traffic run."""
+
+    name: str
+    #: Runtime mode serving this tenant (one of ``TRAFFIC_MODES``).
+    mode: str = "roadrunner-user"
+    #: Fair-queueing weight at the gateway (share under saturation).
+    weight: int = 1
+    #: Arrival process generating the tenant's request stream, or ...
+    arrivals: Optional[ArrivalProcess] = None
+    #: ... an explicit request list (exactly one of the two must be set).
+    requests: Optional[Tuple[Request, ...]] = None
+    #: Function name the tenant invokes; defaults to the tenant name.
+    function: Optional[str] = None
+    #: Pattern label for reports; defaults to the arrival process's name.
+    pattern: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise TenantError("tenant name must be non-empty")
+        if self.weight < 1:
+            raise TenantError("tenant %r: weight must be >= 1" % self.name)
+        if (self.arrivals is None) == (self.requests is None):
+            raise TenantError(
+                "tenant %r needs exactly one of arrivals or requests" % self.name
+            )
+
+    @property
+    def function_name(self) -> str:
+        return self.function or self.name
+
+    @property
+    def pattern_name(self) -> str:
+        if self.pattern:
+            return self.pattern
+        if self.arrivals is not None:
+            return self.arrivals.name
+        return "trace"
+
+    def generate(self) -> List[Request]:
+        """The tenant's request stream, retagged with its function name."""
+        base = list(self.requests) if self.requests is not None else self.arrivals.generate()
+        function = self.function_name
+        return [
+            request if request.function == function else replace(request, function=function)
+            for request in base
+        ]
+
+
+class CapacityArbiter:
+    """Weight-proportional split of the cluster's schedulable replica slots.
+
+    ``capacity`` is the number of replicas the cluster will host — its core
+    count, possibly oversubscribed (replicas are cheap processes; cores are
+    the contended execution resource).  Guarantees are the largest-remainder
+    apportionment of ``capacity`` by weight, so they sum exactly to capacity.
+
+    Reservations follow *demand*: a tenant's unmet guarantee is only held
+    back from others while that tenant has work wanting replicas, so an
+    idle tenant's share is lendable (work conservation) and a tenant whose
+    guarantee rounded to zero can still borrow unclaimed slots.  Because
+    replicas are never preempted, a waking tenant reclaims its guarantee
+    gradually — as borrowers' keep-alives expire — rather than instantly;
+    with more tenants than slots, zero-guarantee tenants are served only
+    opportunistically.  Without a demand map, ``grant`` falls back to
+    reserving every unmet guarantee (the conservative hard split).
+    """
+
+    def __init__(self, capacity: int, weights: Mapping[str, int]) -> None:
+        if capacity < 1:
+            raise TenantError("capacity must be >= 1")
+        if not weights:
+            raise TenantError("need at least one tenant weight")
+        if any(weight < 1 for weight in weights.values()):
+            raise TenantError("tenant weights must be >= 1")
+        self.capacity = capacity
+        self.weights = dict(weights)
+        # Largest-remainder apportionment: floor shares first, then the
+        # leftover slots one by one to the largest fractional remainders
+        # (ties to the heavier, then earlier-registered tenant).  Guarantees
+        # sum exactly to capacity and are independent of dict order.
+        total = sum(self.weights.values())
+        order = list(self.weights)
+        self.guaranteed: Dict[str, int] = {
+            name: (capacity * self.weights[name]) // total for name in order
+        }
+        leftover = capacity - sum(self.guaranteed.values())
+        by_remainder = sorted(
+            order,
+            key=lambda name: (
+                -((capacity * self.weights[name]) % total),
+                -self.weights[name],
+                order.index(name),
+            ),
+        )
+        for name in by_remainder[:leftover]:
+            self.guaranteed[name] += 1
+
+    def grant(
+        self,
+        tenant: str,
+        requested: int,
+        current: Mapping[str, int],
+        demand: Optional[Mapping[str, int]] = None,
+    ) -> int:
+        """How many of ``requested`` new slots ``tenant`` may claim now.
+
+        ``demand`` maps each tenant to the replicas its load currently
+        wants (queued + in flight); a tenant's unmet guarantee is reserved
+        only up to its demand.  ``None`` reserves every unmet guarantee.
+        """
+        if tenant not in self.weights:
+            raise TenantError("unknown tenant %r" % tenant)
+        if requested <= 0:
+            return 0
+        used = sum(current.values())
+        free = max(0, self.capacity - used)
+        if free == 0:
+            return 0
+        mine = current.get(tenant, 0)
+        within = max(0, self.guaranteed[tenant] - mine)
+        reserved = 0
+        for name in self.weights:
+            if name == tenant:
+                continue
+            claim = self.guaranteed[name]
+            if demand is not None:
+                claim = min(claim, demand.get(name, 0))
+            reserved += max(0, claim - current.get(name, 0))
+        granted = min(requested, free, within)
+        extra = min(requested - granted, max(0, free - granted - reserved))
+        return granted + max(0, extra)
+
+
+@dataclass(frozen=True)
+class MultiTenantSummary:
+    """Everything one shared-cluster multi-tenant run produced."""
+
+    fairness: str
+    weights: Mapping[str, int]
+    #: Per-tenant rollups, keyed by tenant name.
+    tenants: Dict[str, TrafficSummary]
+    #: Cluster-wide aggregate over every tenant's requests and replicas.
+    cluster: TrafficSummary
+    #: Gateway admission accounting per tenant (drops/timeouts happen there).
+    queue_stats: Dict[str, TenantQueueStats] = field(default_factory=dict)
+
+    def tenant(self, name: str) -> TrafficSummary:
+        if name not in self.tenants:
+            raise TenantError(
+                "no tenant %r in this run (have: %s)" % (name, ", ".join(sorted(self.tenants)))
+            )
+        return self.tenants[name]
+
+
+# -- config parsing (the ``repro traffic --tenants`` format) ------------------------
+
+#: Recognised keys of one tenant object in a ``--tenants`` config.
+_TENANT_KEYS = frozenset(
+    {
+        "name", "pattern", "rps", "duration", "payload_mb", "seed", "weight",
+        "mode", "burst_on", "burst_off", "period", "trough_rps",
+    }
+)
+
+
+def parse_tenants(
+    source: str,
+    default_mode: str = "roadrunner-user",
+    base_seed: int = 0,
+    default_duration: float = 30.0,
+) -> List[TenantSpec]:
+    """Parse a ``--tenants`` config: a JSON array, inline or a file path.
+
+    Each element describes one tenant::
+
+        {"name": "steady", "pattern": "poisson", "rps": 20, "duration": 30,
+         "weight": 1, "mode": "roadrunner-user", "payload_mb": 1.0}
+
+    ``pattern`` is ``poisson`` (default), ``bursty`` (``burst_on``/
+    ``burst_off`` windows) or ``diurnal`` (``period``, ``trough_rps``).
+    ``seed`` is optional: omitted, it derives from ``base_seed`` and the
+    tenant name, so streams stay independent and reproducible.
+    """
+    text = source
+    if os.path.exists(source):
+        try:
+            with open(source, "r", encoding="utf-8") as handle:
+                text = handle.read()
+        except OSError as exc:
+            raise TenantError("cannot read tenants config %r: %s" % (source, exc))
+    try:
+        raw = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise TenantError("tenants config is not valid JSON: %s" % exc)
+    if not isinstance(raw, list) or not raw:
+        raise TenantError("tenants config must be a non-empty JSON array")
+    specs: List[TenantSpec] = []
+    for index, entry in enumerate(raw):
+        if not isinstance(entry, dict):
+            raise TenantError("tenant #%d must be a JSON object" % index)
+        unknown = sorted(set(entry) - _TENANT_KEYS)
+        if unknown:
+            raise TenantError("tenant #%d has unknown keys: %s" % (index, ", ".join(unknown)))
+        if "name" not in entry:
+            raise TenantError("tenant #%d is missing 'name'" % index)
+        name = str(entry["name"])
+        pattern = str(entry.get("pattern", "poisson"))
+        try:
+            rps = float(entry.get("rps", 20.0))
+            duration = float(entry.get("duration", default_duration))
+            payload_mb = float(entry.get("payload_mb", 1.0))
+            seed = int(entry.get("seed", derived_seed(base_seed, name)))
+            weight = int(entry.get("weight", 1))
+            burst_on = float(entry.get("burst_on", 5.0))
+            burst_off = float(entry.get("burst_off", 15.0))
+            period = float(entry.get("period", 60.0))
+            trough_rps = float(entry.get("trough_rps", min(rps, max(rps / 10.0, 0.1))))
+        except (TypeError, ValueError) as exc:
+            raise TenantError("tenant %r has a malformed numeric value: %s" % (name, exc))
+        if pattern == "poisson":
+            arrivals: ArrivalProcess = PoissonArrivals(
+                rate_rps=rps, duration_s=duration, function=name, payload_mb=payload_mb, seed=seed
+            )
+        elif pattern == "bursty":
+            arrivals = BurstyArrivals(
+                on_rate_rps=rps,
+                duration_s=duration,
+                on_s=burst_on,
+                off_s=burst_off,
+                function=name,
+                payload_mb=payload_mb,
+                seed=seed,
+            )
+        elif pattern == "diurnal":
+            arrivals = DiurnalArrivals(
+                peak_rps=rps,
+                trough_rps=trough_rps,
+                duration_s=duration,
+                period_s=period,
+                function=name,
+                payload_mb=payload_mb,
+                seed=seed,
+            )
+        else:
+            raise TenantError(
+                "tenant %r: unknown pattern %r (use poisson, bursty or diurnal)" % (name, pattern)
+            )
+        specs.append(
+            TenantSpec(
+                name=name,
+                mode=str(entry.get("mode", default_mode)),
+                weight=weight,
+                arrivals=arrivals,
+            )
+        )
+    names = [spec.name for spec in specs]
+    if len(set(names)) != len(names):
+        raise TenantError("tenant names must be unique, got %s" % names)
+    if "cluster" in names:
+        raise TenantError("tenant name 'cluster' is reserved for the cluster-wide rollup")
+    return specs

@@ -61,6 +61,16 @@ def test_edge_gateway_replay_example_balances_and_compares():
     assert "p95 latency improvement" in output
 
 
+def test_noisy_neighbour_example_shows_wfq_beating_fifo():
+    output = _run_main(_load_example("noisy_neighbour.py"))
+    assert "Gateway fair queue (wfq)" in output
+    assert "FIFO sharing" in output and "WFQ sharing" in output
+    assert "better p99" in output
+    # The punchline is quantified: the improvement factor is printed as Nx.
+    factor = float(output.split("better p99")[0].rsplit("(", 1)[1].rstrip("x "))
+    assert factor > 1.0
+
+
 def test_reproduce_paper_example_quick_run(monkeypatch):
     module = _load_example("reproduce_paper.py")
     monkeypatch.setattr(sys, "argv", ["reproduce_paper.py"])

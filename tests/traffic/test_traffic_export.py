@@ -1,0 +1,127 @@
+"""Round-trip tests: traffic summaries through the figure exporters.
+
+A traffic run must export like a paper figure (CSV/JSON via
+``repro.metrics.export``) and come back with every percentile and counter
+intact — including tenants that never saw a request.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.metrics.export import (
+    ExportError,
+    figure_from_csv,
+    figure_from_json,
+    figure_to_csv,
+    figure_to_json,
+    multi_tenant_to_figure,
+    traffic_from_figure,
+    traffic_to_figure,
+    write_figure,
+)
+from repro.traffic.arrivals import Request
+from repro.traffic.engine import MultiTenantTrafficEngine, TrafficConfig, TrafficEngine
+from repro.traffic.tenants import TenantSpec
+
+MB = 1024 * 1024
+
+
+@pytest.fixture(scope="module")
+def multi_tenant_result():
+    busy = TenantSpec(
+        name="busy",
+        weight=2,
+        requests=tuple(
+            Request(request_id=i, arrival_s=0.1 * i, function="busy", payload_bytes=MB)
+            for i in range(8)
+        ),
+    )
+    idle = TenantSpec(name="idle", requests=(), mode="runc-http")
+    engine = MultiTenantTrafficEngine(
+        [busy, idle], config=TrafficConfig(nodes=1, initial_replicas=1)
+    )
+    return engine.run()
+
+
+def _strip_timeline(summary):
+    return dataclasses.replace(summary, replica_timeline=())
+
+
+def test_multi_tenant_figure_includes_every_tenant_and_the_rollup(multi_tenant_result):
+    figure = multi_tenant_to_figure(multi_tenant_result)
+    assert figure.x_values == ["busy", "idle", "cluster"]
+    assert set(figure.panels) == {"latency", "queueing", "service", "volume", "scaling", "meta"}
+    assert "fairness=wfq" in figure.notes
+    assert figure.panels["meta"]["mode"] == ["roadrunner-user", "runc-http", "cluster"]
+    # Fairness and weights travel as meta series, so they survive CSV too
+    # (notes only exist in the JSON form).
+    assert figure.panels["meta"]["fairness"] == ["wfq", "wfq", "wfq"]
+    assert figure.panels["meta"]["weight"] == [2, 1, 3]
+    restored = figure_from_csv(figure_to_csv(figure))
+    assert restored.panels["meta"]["fairness"] == ["wfq", "wfq", "wfq"]
+    assert [int(w) for w in restored.panels["meta"]["weight"]] == [2, 1, 3]
+
+
+@pytest.mark.parametrize("fmt", ["json", "csv"])
+def test_round_trip_preserves_every_percentile_and_counter(multi_tenant_result, fmt):
+    figure = multi_tenant_to_figure(multi_tenant_result)
+    if fmt == "json":
+        restored = figure_from_json(figure_to_json(figure))
+    else:
+        restored = figure_from_csv(figure_to_csv(figure))
+    summaries = traffic_from_figure(restored)
+    expected = dict(multi_tenant_result.tenants)
+    expected["cluster"] = multi_tenant_result.cluster
+    assert set(summaries) == set(expected)
+    for label, original in expected.items():
+        # Everything except the replica timeline (a step function with no
+        # per-tenant x position) must survive the trip — zero-request
+        # tenants included.
+        assert summaries[label] == _strip_timeline(original), label
+
+
+def test_zero_request_tenant_round_trips_as_zeros(multi_tenant_result):
+    figure = multi_tenant_to_figure(multi_tenant_result)
+    summaries = traffic_from_figure(figure_from_csv(figure_to_csv(figure)))
+    idle = summaries["idle"]
+    assert idle.offered == idle.completed == idle.timed_out == idle.dropped == 0
+    assert idle.latency.count == 0 and idle.latency.p99_s == 0.0
+    assert idle.goodput_rps == 0.0
+
+
+def test_single_mode_comparison_exports_by_mode(tmp_path):
+    requests = [
+        Request(request_id=i, arrival_s=0.2 * i, function="app", payload_bytes=MB)
+        for i in range(5)
+    ]
+    summary = TrafficEngine("roadrunner-user", config=TrafficConfig(nodes=1)).run(
+        requests, pattern="trace"
+    )
+    figure = traffic_to_figure({"roadrunner-user": summary}, x_label="mode")
+    path = write_figure(figure, str(tmp_path / "traffic.json"), fmt="json")
+    with open(path, "r", encoding="utf-8") as handle:
+        restored = traffic_from_figure(figure_from_json(handle.read()))
+    assert restored["roadrunner-user"] == _strip_timeline(summary)
+
+
+def test_malformed_inputs_raise_export_errors(multi_tenant_result):
+    with pytest.raises(ExportError):
+        figure_from_json("not json")
+    with pytest.raises(ExportError):
+        figure_from_json('{"title": "missing keys"}')
+    with pytest.raises(ExportError):
+        figure_from_csv("no,figure,header\n")
+    with pytest.raises(ExportError):
+        traffic_to_figure({})
+    figure = multi_tenant_to_figure(multi_tenant_result)
+    del figure.panels["volume"]
+    with pytest.raises(ExportError):
+        traffic_from_figure(figure)
+    # A non-traffic figure (no meta panel) raises ExportError, not KeyError.
+    from repro.experiments.results import FigureResult
+
+    plain = FigureResult(figure="fig7", title="demo", x_label="MB", x_values=[1])
+    plain.add_point("latency", "RoadRunner", 0.1)
+    with pytest.raises(ExportError):
+        traffic_from_figure(plain)
