@@ -1,0 +1,142 @@
+"""Benchmark: deadline-aware scheduling classes and the policy comparison.
+
+Not a paper figure — the scheduler-study regime the ROADMAP's traffic
+ideas point at: one tenant's traffic split into an interactive class with
+a 200 ms soft deadline and a deadline-less batch class, served from a
+fixed pool that bursts briefly outrun.  The assertions pin the scheduling
+claims the gateway must keep: under byte-identical seeded arrivals with
+identical class stamps, earliest-deadline-first intra-tenant dispatch
+yields a *strictly* higher deadline-met ratio than FIFO, per-class
+accounting conserves every request, and the scaling-policy comparison
+figure round-trips through CSV and JSON with all per-class counters
+intact.
+"""
+
+import pytest
+
+from repro.metrics.export import (
+    figure_from_csv,
+    figure_from_json,
+    figure_to_csv,
+    figure_to_json,
+    policies_to_figure,
+    traffic_from_figure,
+)
+from repro.traffic import (
+    Autoscaler,
+    BurstyArrivals,
+    FairnessPolicy,
+    FixedReplicasPolicy,
+    IntraTenantOrder,
+    MultiTenantTrafficEngine,
+    RequestClass,
+    TenantSpec,
+    TrafficConfig,
+    autoscaler_factory,
+    compare_scaling_policies,
+    policy_cluster_summaries,
+)
+
+DURATION_S = 20.0
+PAYLOAD_MB = 50.0
+DEADLINE_S = 0.2
+
+CLASSES = (
+    RequestClass("interactive", share=0.5, priority=0, deadline_s=DEADLINE_S),
+    RequestClass("batch", share=0.5, priority=1),
+    # Declared but (statistically) never drawn: the zero-request class must
+    # still round-trip through every export.
+    RequestClass("audit", share=1e-12, priority=2, deadline_s=5.0),
+)
+
+
+def _tenant() -> TenantSpec:
+    return TenantSpec(
+        name="app",
+        mode="roadrunner-user",
+        weight=1,
+        arrivals=BurstyArrivals(
+            on_rate_rps=120.0, duration_s=DURATION_S, on_s=4.0, off_s=6.0,
+            function="app", payload_mb=PAYLOAD_MB, seed=11,
+        ),
+        classes=CLASSES,
+    )
+
+
+def _run(intra: IntraTenantOrder):
+    engine = MultiTenantTrafficEngine(
+        [_tenant()],
+        config=TrafficConfig(nodes=1, initial_replicas=2),
+        fairness=FairnessPolicy.WFQ,
+        intra=intra,
+        autoscaler_factory=lambda: Autoscaler(
+            FixedReplicasPolicy(4), min_replicas=2, max_replicas=4
+        ),
+    )
+    return engine.run()
+
+
+def test_edf_beats_fifo_on_deadline_met_ratio(benchmark):
+    def run():
+        return _run(IntraTenantOrder.EDF), _run(IntraTenantOrder.FIFO)
+
+    edf, fifo = benchmark.pedantic(run, rounds=1, iterations=1)
+    edf_app, fifo_app = edf.tenants["app"], fifo.tenants["app"]
+    # Identical seeded arrivals and identical class stamps.
+    assert edf_app.offered == fifo_app.offered > 0
+    by_name_edf = {cls.name: cls for cls in edf_app.classes}
+    by_name_fifo = {cls.name: cls for cls in fifo_app.classes}
+    assert set(by_name_edf) == set(by_name_fifo) == {"interactive", "batch", "audit"}
+    for name in ("interactive", "batch", "audit"):
+        assert by_name_edf[name].offered == by_name_fifo[name].offered
+    # The tentpole claim: EDF strictly beats FIFO on deadline attainment,
+    # and misses nothing at all in this regime (the batch backlog it
+    # displaces has no deadline to miss).
+    assert fifo_app.deadline_met_ratio < 1.0
+    assert edf_app.deadline_met_ratio > fifo_app.deadline_met_ratio
+    assert by_name_edf["interactive"].deadline_met_ratio == 1.0
+    # EDF must not *lose* requests to buy the ratio: per-class conservation.
+    for summary in (edf_app, fifo_app):
+        assert sum(cls.offered for cls in summary.classes) == summary.offered
+        assert sum(cls.completed for cls in summary.classes) == summary.completed
+    # The zero-request class stays a zero row in both runs.
+    assert by_name_edf["audit"].offered == 0
+    assert by_name_edf["audit"].deadline_total == 0
+
+
+def test_policy_comparison_figure_round_trips(benchmark):
+    def run():
+        return compare_scaling_policies(
+            [_tenant()],
+            {
+                name: autoscaler_factory(
+                    name, min_replicas=2, max_replicas=4, fixed_replicas=4
+                )
+                for name in ("fixed", "step", "predictive")
+            },
+            config=TrafficConfig(nodes=1, initial_replicas=2),
+            fairness=FairnessPolicy.WFQ,
+            intra=IntraTenantOrder.EDF,
+        )
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    clusters = policy_cluster_summaries(results)
+    assert set(clusters) == {"fixed", "step", "predictive"}
+    # Same seeded arrivals under every policy.
+    offered = {summary.offered for summary in clusters.values()}
+    assert len(offered) == 1 and offered.pop() > 0
+    figure = policies_to_figure(clusters)
+    assert figure.x_label == "policy"
+    for restored in (
+        figure_from_csv(figure_to_csv(figure)),
+        figure_from_json(figure_to_json(figure)),
+    ):
+        back = traffic_from_figure(restored)
+        for policy, original in clusters.items():
+            # Every per-class counter — the zero-request class included —
+            # survives both serialisations.
+            assert back[policy].classes == original.classes, policy
+            assert back[policy].deadline_met == original.deadline_met
+            assert back[policy].cold_starts == original.cold_starts
+            assert back[policy].replica_seconds == pytest.approx(original.replica_seconds)
+            assert back[policy].latency.p99_s == pytest.approx(original.latency.p99_s)

@@ -1,0 +1,113 @@
+"""Deadline classes: EDF vs FIFO inside one tenant's queue, same arrivals.
+
+One tenant sends a 50/50 mix of two scheduling classes over a shared
+4-core node: **interactive** requests (priority 0) that must finish within
+200 ms of arrival, and **batch** requests (priority 1) with no deadline.
+Traffic arrives in bursts that briefly outrun the fixed pool, so requests
+queue — and the intra-tenant dispatch order decides who waits:
+
+* **FIFO** — arrival order, class-blind.  Every burst parks interactive
+  requests behind whatever batch work arrived first; their deadline-met
+  ratio drops to the burst drain behaviour.
+* **EDF** — priority tiers, earliest deadline first.  Interactive requests
+  jump the batch backlog (which has no deadline to miss), so their
+  deadline-met ratio stays at 1.0 while batch merely finishes later.
+
+Both runs see *byte-identical* seeded arrivals with *identical* class
+stamps; the only difference is the gateway's intra-tenant order.  The
+punchline — EDF's deadline-met ratio strictly beats FIFO's — is asserted
+as a regression benchmark in ``benchmarks/test_traffic_deadline_classes.py``.
+
+Run with::
+
+    python examples/deadline_classes.py
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.traffic import (
+    Autoscaler,
+    BurstyArrivals,
+    FairnessPolicy,
+    FixedReplicasPolicy,
+    IntraTenantOrder,
+    MultiTenantTrafficEngine,
+    RequestClass,
+    TenantSpec,
+    TrafficConfig,
+    render_class_table,
+)
+
+DURATION_S = 20.0
+PAYLOAD_MB = 50.0
+DEADLINE_S = 0.2
+
+CLASSES = (
+    RequestClass("interactive", share=0.5, priority=0, deadline_s=DEADLINE_S),
+    RequestClass("batch", share=0.5, priority=1),
+)
+
+
+def make_tenant() -> TenantSpec:
+    """The tenant spec: identical seeds (and class stamps) for every run."""
+    return TenantSpec(
+        name="app",
+        mode="roadrunner-user",
+        weight=1,
+        arrivals=BurstyArrivals(
+            on_rate_rps=120.0, duration_s=DURATION_S, on_s=4.0, off_s=6.0,
+            function="app", payload_mb=PAYLOAD_MB, seed=11,
+        ),
+        classes=CLASSES,
+    )
+
+
+def run(intra: IntraTenantOrder):
+    engine = MultiTenantTrafficEngine(
+        [make_tenant()],
+        config=TrafficConfig(nodes=1, initial_replicas=2),
+        fairness=FairnessPolicy.WFQ,
+        intra=intra,
+        autoscaler_factory=lambda: Autoscaler(
+            FixedReplicasPolicy(4), min_replicas=2, max_replicas=4
+        ),
+    )
+    return engine.run()
+
+
+def main() -> int:
+    fifo = run(IntraTenantOrder.FIFO).tenants["app"]
+    edf = run(IntraTenantOrder.EDF).tenants["app"]
+
+    print(render_class_table({"fifo": fifo, "edf": edf}, label="order"))
+    print()
+
+    fifo_int = next(c for c in fifo.classes if c.name == "interactive")
+    edf_int = next(c for c in edf.classes if c.name == "interactive")
+    fifo_batch = next(c for c in fifo.classes if c.name == "batch")
+    edf_batch = next(c for c in edf.classes if c.name == "batch")
+    print(
+        "Interactive class (%.0f ms deadline), identical arrivals and class mix:"
+        % (DEADLINE_S * 1000)
+    )
+    print(
+        "  FIFO order : deadline met %d/%d (ratio %.3f), p99=%.3fs"
+        % (fifo_int.deadline_met, fifo_int.deadline_total,
+           fifo_int.deadline_met_ratio, fifo_int.latency.p99_s)
+    )
+    print(
+        "  EDF order  : deadline met %d/%d (ratio %.3f), p99=%.3fs"
+        % (edf_int.deadline_met, edf_int.deadline_total,
+           edf_int.deadline_met_ratio, edf_int.latency.p99_s)
+    )
+    print(
+        "  Batch pays with tail latency, not deadlines: p99 %.3fs -> %.3fs."
+        % (fifo_batch.latency.p99_s, edf_batch.latency.p99_s)
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

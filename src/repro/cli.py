@@ -10,7 +10,11 @@ Commands
 ``traffic``   drive a sustained arrival stream (Poisson/bursty/diurnal) against
               several runtimes with autoscaling and print the SLO report;
               with ``--tenants`` drive several tenants concurrently over one
-              shared cluster with weighted fair queueing at the gateway.
+              shared cluster with weighted fair queueing at the gateway;
+              with ``--classes`` stamp deadline/priority scheduling classes
+              onto the stream (EDF dispatch within a tenant's queue); with
+              ``--compare-policies`` run the same seeded arrivals under
+              several scaling policies and print/export the comparison.
 """
 
 from __future__ import annotations
@@ -22,16 +26,17 @@ from typing import List, Optional
 
 from repro.experiments.claims import evaluate_claims, render_claims
 from repro.experiments.runner import render_all, run_all
-from repro.metrics.export import multi_tenant_to_figure, traffic_to_figure, write_figure
-from repro.platform.gateway import FairnessPolicy
+from repro.metrics.export import (
+    multi_tenant_to_figure,
+    policies_to_figure,
+    traffic_to_figure,
+    write_figure,
+)
+from repro.platform.gateway import FairnessPolicy, IntraTenantOrder
 from repro.platform.runtime_selector import RuntimeSelector, WorkflowProfile
 from repro.traffic.arrivals import BurstyArrivals, DiurnalArrivals, PoissonArrivals
-from repro.traffic.autoscaler import (
-    Autoscaler,
-    FixedReplicasPolicy,
-    NoScalingPolicy,
-    TargetConcurrencyPolicy,
-)
+from repro.traffic.autoscaler import AutoscalerError
+from repro.traffic.classes import RequestClassError, assign_classes, parse_classes
 from repro.traffic.engine import (
     TRAFFIC_MODES,
     MultiTenantTrafficEngine,
@@ -39,8 +44,18 @@ from repro.traffic.engine import (
     TrafficEngineError,
     run_comparison,
 )
-from repro.traffic.report import render_multi_tenant_report, render_traffic_report
-from repro.traffic.tenants import TenantError, parse_tenants
+from repro.traffic.policies import (
+    SCALING_POLICIES,
+    autoscaler_factory,
+    compare_scaling_policies,
+    policy_cluster_summaries,
+)
+from repro.traffic.report import (
+    render_multi_tenant_report,
+    render_policy_comparison,
+    render_traffic_report,
+)
+from repro.traffic.tenants import TenantError, TenantSpec, derived_seed, parse_tenants
 
 
 def _cmd_figures(args: argparse.Namespace) -> int:
@@ -108,29 +123,54 @@ def _make_arrivals(args: argparse.Namespace):
     )
 
 
-def _make_policy(args: argparse.Namespace):
-    if args.policy == "target":
-        return TargetConcurrencyPolicy(args.target_concurrency)
-    if args.policy == "fixed":
-        return FixedReplicasPolicy(args.fixed_replicas)
-    return NoScalingPolicy()
+def _policy_kwargs(args: argparse.Namespace) -> dict:
+    return dict(
+        target_concurrency=args.target_concurrency,
+        fixed_replicas=args.fixed_replicas,
+        step=args.step,
+        high_utilisation=args.high_utilisation,
+        low_utilisation=args.low_utilisation,
+        cooldown_s=args.cooldown,
+        horizon_s=args.horizon,
+    )
+
+
+def _autoscaler_factory(args: argparse.Namespace, policy_name: str):
+    return autoscaler_factory(
+        policy_name,
+        min_replicas=args.min_replicas,
+        max_replicas=args.max_replicas,
+        keep_alive_s=args.keep_alive,
+        control_interval_s=args.control_interval,
+        **_policy_kwargs(args),
+    )
+
+
+def _intra_order(args: argparse.Namespace, classes_in_play: bool) -> IntraTenantOrder:
+    """EDF when classes are in play, unless --class-order pins it."""
+    if args.class_order:
+        return IntraTenantOrder(args.class_order)
+    return IntraTenantOrder.EDF if classes_in_play else IntraTenantOrder.FIFO
 
 
 def _cmd_traffic(args: argparse.Namespace) -> int:
-    def autoscaler_factory() -> Autoscaler:
-        return Autoscaler(
-            _make_policy(args),
-            min_replicas=args.min_replicas,
-            max_replicas=args.max_replicas,
-            keep_alive_s=args.keep_alive,
-            control_interval_s=args.control_interval,
-        )
+    try:
+        classes = parse_classes(args.classes) if args.classes else ()
+    except RequestClassError as exc:
+        print("invalid --classes: %s" % exc, file=sys.stderr)
+        return 2
+    intra = _intra_order(args, bool(classes))
+    policy_name = args.scaling_policy or args.policy
+    factory = _autoscaler_factory(args, policy_name)
 
     config_kwargs = dict(
         nodes=args.nodes,
         initial_replicas=args.initial_replicas,
         queue_timeout_s=args.timeout,
     )
+
+    if args.compare_policies:
+        return _cmd_compare_policies(args, classes, config_kwargs)
 
     if args.tenants:
         # Multi-tenant path: several named functions over one shared cluster,
@@ -144,14 +184,21 @@ def _cmd_traffic(args: argparse.Namespace) -> int:
                 default_mode=default_mode,
                 base_seed=args.seed,
                 default_duration=args.duration,
+                default_classes=classes,
+            )
+            # Tenants may declare their own class mixes: those enable the
+            # EDF default exactly like a global --classes does.
+            intra = _intra_order(
+                args, bool(classes) or any(tenant.classes for tenant in tenants)
             )
             engine = MultiTenantTrafficEngine(
                 tenants,
                 config=TrafficConfig(**config_kwargs),
                 fairness=FairnessPolicy(args.fairness),
                 starvation_guard=args.starvation_guard,
-                autoscaler_factory=autoscaler_factory,
+                autoscaler_factory=factory,
                 oversubscription=args.oversubscription,
+                intra=intra,
             )
             result = engine.run()
         except (ValueError, TenantError, TrafficEngineError) as exc:
@@ -176,12 +223,17 @@ def _cmd_traffic(args: argparse.Namespace) -> int:
         return 2
     try:
         requests = _make_arrivals(args).generate()
+        if classes:
+            requests = assign_classes(
+                requests, classes, seed=derived_seed(args.seed, "cli/classes")
+            )
         results = run_comparison(
             requests,
             modes=modes,
-            autoscaler_factory=autoscaler_factory,
+            autoscaler_factory=factory,
             config=TrafficConfig(**config_kwargs),
             pattern=args.pattern,
+            intra=intra,
         )
     except (ValueError, TrafficEngineError) as exc:
         print("invalid traffic parameters: %s" % exc, file=sys.stderr)
@@ -190,6 +242,63 @@ def _cmd_traffic(args: argparse.Namespace) -> int:
     if args.export:
         figure = traffic_to_figure(results, x_label="mode")
         path = write_figure(figure, args.export, fmt=args.format)
+        print("\nwrote %s" % path)
+    return 0
+
+
+def _cmd_compare_policies(args: argparse.Namespace, classes, config_kwargs: dict) -> int:
+    """Run the same seeded arrivals under each --compare-policies policy."""
+    names = [name.strip() for name in args.compare_policies.split(",") if name.strip()]
+    if not names:
+        print("--compare-policies needs at least one policy", file=sys.stderr)
+        return 2
+    unknown = [name for name in names if name not in SCALING_POLICIES]
+    if unknown:
+        print(
+            "unknown scaling polic%s %s; choose from %s"
+            % ("y" if len(unknown) == 1 else "ies", ", ".join(unknown), ", ".join(SCALING_POLICIES)),
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        default_mode = args.modes.split(",")[0].strip() or "roadrunner-user"
+        if args.tenants:
+            tenants = parse_tenants(
+                args.tenants,
+                default_mode=default_mode,
+                base_seed=args.seed,
+                default_duration=args.duration,
+                default_classes=classes,
+            )
+        else:
+            tenants = [
+                TenantSpec(
+                    name="app",
+                    mode=default_mode,
+                    arrivals=_make_arrivals(args),
+                    classes=classes,
+                    pattern=args.pattern,
+                )
+            ]
+        intra = _intra_order(
+            args, bool(classes) or any(tenant.classes for tenant in tenants)
+        )
+        results = compare_scaling_policies(
+            tenants,
+            {name: _autoscaler_factory(args, name) for name in names},
+            config=TrafficConfig(**config_kwargs),
+            fairness=FairnessPolicy(args.fairness),
+            starvation_guard=args.starvation_guard,
+            intra=intra,
+            oversubscription=args.oversubscription,
+        )
+    except (ValueError, TenantError, TrafficEngineError, AutoscalerError) as exc:
+        print("invalid traffic parameters: %s" % exc, file=sys.stderr)
+        return 2
+    clusters = policy_cluster_summaries(results)
+    print(render_policy_comparison(clusters))
+    if args.export:
+        path = write_figure(policies_to_figure(clusters), args.export, fmt=args.format)
         print("\nwrote %s" % path)
     return 0
 
@@ -230,9 +339,39 @@ def build_parser() -> argparse.ArgumentParser:
         default="roadrunner-user,runc-http",
         help="comma-separated runtimes to compare under the same arrivals",
     )
-    traffic.add_argument("--policy", choices=("target", "fixed", "none"), default="target")
+    traffic.add_argument("--policy", choices=SCALING_POLICIES, default="target")
+    traffic.add_argument(
+        "--scaling-policy", choices=SCALING_POLICIES, default=None,
+        help="autoscaling policy (alias of --policy, wins when both are given): "
+        "target (Knative-style reactive), fixed, none, step (threshold bands "
+        "with --cooldown), predictive (Holt arrival-rate forecast pre-warming "
+        "--horizon seconds ahead)",
+    )
+    traffic.add_argument(
+        "--compare-policies", metavar="LIST",
+        help="run the SAME seeded arrivals once per comma-separated policy "
+        "(e.g. 'target,step,predictive') and print/export one comparison "
+        "figure: p99, deadline-met ratio, cold starts, replica-seconds",
+    )
     traffic.add_argument("--target-concurrency", type=float, default=1.0)
     traffic.add_argument("--fixed-replicas", type=int, default=4)
+    traffic.add_argument("--step", type=int, default=1, help="step policy: replicas per action")
+    traffic.add_argument(
+        "--high-utilisation", type=float, default=2.0,
+        help="step policy: scale up above this demand per replica",
+    )
+    traffic.add_argument(
+        "--low-utilisation", type=float, default=0.5,
+        help="step policy: scale down below this demand per replica",
+    )
+    traffic.add_argument(
+        "--cooldown", type=float, default=10.0,
+        help="step policy: seconds between scaling actions",
+    )
+    traffic.add_argument(
+        "--horizon", type=float, default=10.0,
+        help="predictive policy: seconds of arrival-rate forecast to pre-warm for",
+    )
     traffic.add_argument("--min-replicas", type=int, default=1)
     traffic.add_argument("--max-replicas", type=int, default=64)
     traffic.add_argument("--keep-alive", type=float, default=30.0, help="idle seconds before scale-down")
@@ -254,10 +393,31 @@ def build_parser() -> argparse.ArgumentParser:
         "period, trough_rps",
     )
     traffic.add_argument(
+        "--classes",
+        help="scheduling classes stamped onto the stream: a JSON array (inline "
+        "or a file path) of class objects, e.g. "
+        '\'[{"name": "interactive", "share": 0.5, "priority": 0, "deadline": 2.0}, '
+        '{"name": "batch", "share": 0.5, "priority": 1}]\'; '
+        "keys: name, share (mix weight), priority (lower dispatches first), "
+        "deadline (relative seconds, soft).  Tenants may override with their "
+        "own 'classes' key; enables EDF dispatch unless --class-order fifo",
+    )
+    traffic.add_argument(
+        "--class-order",
+        choices=[order.value for order in IntraTenantOrder],
+        default=None,
+        help="intra-tenant dispatch order: edf (priority tiers, earliest "
+        "deadline first) or fifo (arrival order); default edf when classes "
+        "are given, fifo otherwise",
+    )
+    traffic.add_argument(
         "--fairness",
         choices=[policy.value for policy in FairnessPolicy],
         default=FairnessPolicy.WFQ.value,
-        help="multi-tenant dispatch order at the gateway (default: wfq)",
+        help="multi-tenant dispatch order at the gateway: fifo, wfq (one "
+        "virtual unit per request) or wfq-cost (tags advance by the "
+        "tenant's EWMA service cost — fair core *time* under unequal "
+        "payload sizes); default: wfq",
     )
     traffic.add_argument(
         "--starvation-guard", type=int, default=32,

@@ -39,6 +39,10 @@ _TRAFFIC_SCALING_SERIES = (
 _TRAFFIC_INT_FIELDS = frozenset(
     {"offered", "completed", "timed_out", "dropped", "cold_starts", "max_replicas", "count"}
 )
+#: Per-scheduling-class series: ClassSummary counters, then its latency stats.
+_TRAFFIC_CLASS_COUNTERS = (
+    "offered", "completed", "timed_out", "dropped", "deadline_total", "deadline_met",
+)
 
 
 def figure_to_dict(result) -> Dict[str, Any]:
@@ -167,6 +171,22 @@ def traffic_to_figure(
         x_values=list(results),
         notes=notes,
     )
+    # Scheduling classes add a second dimension (label x class).  Every
+    # class seen by *any* summary becomes a full series set so the panel
+    # stays rectangular; labels that lack a class carry zero rows, and the
+    # per-label "classes" meta series records which classes are really its
+    # own, so the inversion reconstructs exactly the original tuples —
+    # zero-request classes included.
+    from repro.metrics.stats import LatencySummary
+    from repro.traffic.slo import ClassSummary
+
+    class_union: List[str] = sorted(
+        {cls.name for summary in results.values() for cls in summary.classes}
+    )
+    empty_class = {name: ClassSummary(
+        name=name, offered=0, completed=0, timed_out=0, dropped=0,
+        deadline_total=0, deadline_met=0, latency=LatencySummary.empty(),
+    ) for name in class_union}
     for label, summary in results.items():
         for panel in _TRAFFIC_LATENCY_PANELS:
             distribution = getattr(summary, panel)
@@ -177,8 +197,19 @@ def traffic_to_figure(
         for series in _TRAFFIC_SCALING_SERIES:
             result.add_point("scaling", series, getattr(summary, series))
         result.add_point("scaling", "goodput_rps", summary.goodput_rps)
+        result.add_point("scaling", "deadline_met_ratio", summary.deadline_met_ratio)
         result.add_point("meta", "mode", summary.mode)
         result.add_point("meta", "pattern", summary.pattern)
+        mine = {cls.name: cls for cls in summary.classes}
+        result.add_point("meta", "classes", "|".join(sorted(mine)))
+        for name in class_union:
+            cls = mine.get(name, empty_class[name])
+            for series in _TRAFFIC_CLASS_COUNTERS:
+                result.add_point("classes", "%s/%s" % (name, series), getattr(cls, series))
+            for series in _TRAFFIC_LATENCY_SERIES:
+                result.add_point(
+                    "classes", "%s/latency_%s" % (name, series), getattr(cls.latency, series)
+                )
     return result
 
 
@@ -206,6 +237,26 @@ def multi_tenant_to_figure(summary, figure: str = "traffic", **kwargs):
     return result
 
 
+def policies_to_figure(
+    results: Mapping[str, Any],
+    figure: str = "traffic-policies",
+    title: str = "Scaling-policy comparison (same seeded arrivals)",
+    notes: str = "",
+):
+    """Flatten a policy comparison into one exportable figure.
+
+    ``results`` maps a policy label to that run's :class:`TrafficSummary`
+    (use :func:`repro.traffic.policies.policy_cluster_summaries` for
+    multi-tenant runs).  The x axis is the policy, so one figure lines up
+    p99 (``latency/p99_s``), deadline-met ratio and per-class counters
+    (``classes`` panel), cold starts and replica-seconds (``scaling``
+    panel) across policies — and, being a plain traffic figure, it
+    round-trips through CSV/JSON and :func:`traffic_from_figure` like any
+    other.
+    """
+    return traffic_to_figure(results, figure=figure, title=title, x_label="policy", notes=notes)
+
+
 def traffic_from_figure(figure) -> Dict[str, Any]:
     """Invert :func:`traffic_to_figure`: label -> TrafficSummary.
 
@@ -214,7 +265,7 @@ def traffic_from_figure(figure) -> Dict[str, Any]:
     timeline is not part of the export and comes back empty.
     """
     from repro.metrics.stats import LatencySummary
-    from repro.traffic.slo import TrafficSummary
+    from repro.traffic.slo import ClassSummary, TrafficSummary
 
     def pick(panel: str, series: str, index: int) -> Any:
         raw = pick_raw(panel, series, index)
@@ -227,6 +278,38 @@ def traffic_from_figure(figure) -> Dict[str, Any]:
             return figure.panels[panel][series][index]
         except (KeyError, IndexError) as exc:
             raise ExportError("figure is missing traffic field %s/%s: %s" % (panel, series, exc))
+
+    def pick_classes(index: int) -> tuple:
+        """Rebuild the label's ClassSummary tuple from the classes panel.
+
+        Figures written before scheduling classes existed have no
+        ``meta/classes`` series; they come back with an empty tuple.
+        """
+        meta = figure.panels.get("meta", {})
+        if "classes" not in meta:
+            return ()
+        try:
+            encoded = str(meta["classes"][index])
+        except IndexError as exc:
+            raise ExportError("figure is missing traffic field meta/classes: %s" % exc)
+        names = [name for name in encoded.split("|") if name]
+        restored = []
+        for name in names:
+            counters = {
+                series: int(float(pick_raw("classes", "%s/%s" % (name, series), index)))
+                for series in _TRAFFIC_CLASS_COUNTERS
+            }
+            latency = LatencySummary(
+                **{
+                    series: (
+                        int(float(raw)) if series in _TRAFFIC_INT_FIELDS else float(raw)
+                    )
+                    for series in _TRAFFIC_LATENCY_SERIES
+                    for raw in [pick_raw("classes", "%s/latency_%s" % (name, series), index)]
+                }
+            )
+            restored.append(ClassSummary(name=name, latency=latency, **counters))
+        return tuple(restored)
 
     summaries: Dict[str, Any] = {}
     for index, label in enumerate(figure.x_values):
@@ -251,6 +334,7 @@ def traffic_from_figure(figure) -> Dict[str, Any]:
             replica_seconds=pick("scaling", "replica_seconds", index),
             max_replicas=pick("scaling", "max_replicas", index),
             replica_timeline=(),
+            classes=pick_classes(index),
         )
     return summaries
 

@@ -19,6 +19,14 @@ queue per tenant and decides dispatch order either globally FIFO (arrival
 order, tenant-blind) or by weighted fair queueing, where each tenant's
 share of dispatches converges to its weight under saturation and a
 starvation guard bounds how long any backlogged tenant can be passed over.
+Weighted fair queueing comes in two flavours: per-request tags (``wfq``,
+every dispatch costs one virtual unit) and cost-weighted tags
+(``wfq-cost``, every dispatch costs the request's estimated service time,
+fed back by the engine as an online per-tenant EWMA), which keeps core
+shares proportional to weights even when tenants' payload sizes — and
+therefore per-request costs — are wildly unequal.  Within one tenant's
+queue, dispatch is either arrival order (the default) or
+earliest-deadline-first with priority tiers (:class:`IntraTenantOrder`).
 The queue stores opaque items, so the gateway stays independent of the
 traffic subsystem's request type.
 """
@@ -26,10 +34,11 @@ traffic subsystem's request type.
 from __future__ import annotations
 
 import enum
+import heapq
 import itertools
-from collections import deque
+import math
 from dataclasses import dataclass, field
-from typing import Deque, Dict, List, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Optional, Sequence, Set
 
 from repro.platform.deployment import DeployedFunction
 from repro.platform.function import FunctionSpec
@@ -51,8 +60,16 @@ class RoutingPolicy(enum.Enum):
 class FairnessPolicy(enum.Enum):
     """How queued requests from different tenants are ordered for dispatch."""
 
-    FIFO = "fifo"  # one logical global queue: strict arrival order
-    WFQ = "wfq"    # weighted fair queueing across per-tenant queues
+    FIFO = "fifo"          # one logical global queue: strict arrival order
+    WFQ = "wfq"            # weighted fair queueing, one virtual unit per request
+    WFQ_COST = "wfq-cost"  # weighted fair queueing, tags advance by service cost
+
+
+class IntraTenantOrder(enum.Enum):
+    """How requests *within* one tenant's queue are ordered for dispatch."""
+
+    FIFO = "fifo"  # arrival order (the classic single-class queue)
+    EDF = "edf"    # priority tiers, earliest deadline first within a tier
 
 
 @dataclass
@@ -67,47 +84,87 @@ class TenantQueueStats:
     timed_out: int = 0
 
 
+@dataclass(frozen=True, order=True)
+class _Entry:
+    """One queued item with its scheduling keys, ordered for the heap.
+
+    Comparison runs left to right and ``seq`` is globally unique, so two
+    entries never compare beyond it — the opaque ``item`` is never compared
+    — and every ordering decision is a deterministic total order.  Under
+    :attr:`IntraTenantOrder.FIFO` both class keys are forced to constants,
+    so the heap degenerates to exact arrival order whatever priorities or
+    deadlines the items carry.
+    """
+
+    priority: int
+    deadline: float  # absolute deadline; +inf when the item has none
+    seq: int
+    item_id: int = field(compare=False)
+    item: object = field(compare=False)
+    cost: float = field(compare=False)  # service-cost snapshot at enqueue
+
+
 @dataclass
 class _TenantQueue:
-    """One tenant's bounded FIFO plus its fair-queueing state."""
+    """One tenant's bounded queue plus its fair-queueing state."""
 
     name: str
     weight: int
     index: int  # registration order: the deterministic tie-breaker
-    items: Deque[Tuple[int, int, object]] = field(default_factory=deque)
+    items: List[_Entry] = field(default_factory=list)  # heap
     live: Set[int] = field(default_factory=set)
     finish_tag: float = 0.0
     skipped: int = 0
+    cost_estimate: Optional[float] = None  # EWMA of measured service times
     stats: TenantQueueStats = None  # type: ignore[assignment]
 
 
 class FairQueue:
     """Per-tenant admission queues with FIFO or weighted-fair dispatch.
 
-    WFQ is the classic virtual-time scheme, applied per request (the traffic
-    engine's requests within one tenant are near-uniform in cost): each
-    tenant carries a finish tag advanced by ``1/weight`` per dispatch, and
-    the backlogged tenant with the smallest tag goes first.  A tenant that
+    WFQ is the classic virtual-time scheme: each tenant carries a finish tag
+    advanced per dispatch, and the backlogged tenant with the smallest tag
+    goes first.  Under plain ``wfq`` the tag advances by ``1/weight`` — fine
+    while requests within one tenant are near-uniform in cost.  Under
+    ``wfq-cost`` it advances by ``cost/weight``, where the cost is the
+    request's estimated service time snapshotted at enqueue from the
+    tenant's online EWMA (:meth:`record_service_cost`, fed back by the
+    engine), so core *time* — not request count — converges to the weight
+    split when tenants' payload sizes are wildly unequal.  A tenant that
     was idle re-enters at the current virtual time, so silence banks no
     credit — a bursty tenant cannot monopolise the cluster on arrival.  The
     starvation guard promotes any backlogged tenant that ``starvation_guard``
     consecutive dispatches have passed over, bounding worst-case head-of-line
     wait even under extreme weight ratios.
 
+    Within one tenant's queue, :attr:`IntraTenantOrder.FIFO` serves arrival
+    order and :attr:`IntraTenantOrder.EDF` serves priority tiers (lower tier
+    first), earliest absolute deadline within a tier, deadline-less items
+    last; arrival order breaks all remaining ties, so seeded runs are
+    byte-reproducible.
+
     Cancelled items (queue timeouts) are removed lazily: the id leaves
     ``live`` immediately and the ghost entry is discarded when it reaches
-    the head, so expiry stays O(1) under heavy overload.
+    the head — except that a cancelled *head* is pruned eagerly, so the
+    next dispatch decision (head arrival seq for global FIFO, head deadline
+    for EDF, head cost for cost-weighted tags) never keys off a ghost.
     """
 
     def __init__(
         self,
         policy: FairnessPolicy = FairnessPolicy.FIFO,
         starvation_guard: int = 32,
+        intra: IntraTenantOrder = IntraTenantOrder.FIFO,
+        cost_alpha: float = 0.3,
     ) -> None:
         if starvation_guard < 1:
             raise GatewayError("starvation_guard must be >= 1")
+        if not 0.0 < cost_alpha <= 1.0:
+            raise GatewayError("cost_alpha must be in (0, 1]")
         self.policy = policy
         self.starvation_guard = starvation_guard
+        self.intra = intra
+        self.cost_alpha = cost_alpha
         self._tenants: Dict[str, _TenantQueue] = {}
         self._seq = itertools.count()
         self._virtual = 0.0
@@ -136,22 +193,94 @@ class FairQueue:
     def all_stats(self) -> Dict[str, TenantQueueStats]:
         return {name: queue.stats for name, queue in self._tenants.items()}
 
+    # -- service-cost feedback -----------------------------------------------------
+
+    def record_service_cost(self, tenant: str, service_s: float) -> None:
+        """Fold one measured service time into the tenant's cost EWMA.
+
+        The engine calls this at dispatch, when the request's deterministic
+        service time is known; later enqueues snapshot the updated estimate.
+        """
+        if service_s <= 0:
+            raise GatewayError("service cost must be positive, got %r" % service_s)
+        queue = self._require(tenant)
+        if queue.cost_estimate is None:
+            queue.cost_estimate = service_s
+        else:
+            queue.cost_estimate = (
+                self.cost_alpha * service_s + (1.0 - self.cost_alpha) * queue.cost_estimate
+            )
+
+    def cost_estimate(self, tenant: str) -> Optional[float]:
+        """The tenant's current EWMA service-time estimate (``None`` = no data)."""
+        return self._require(tenant).cost_estimate
+
+    def _default_cost(self) -> float:
+        """Cost snapshot for a tenant with no measurements yet.
+
+        The mean of the other tenants' estimates: a cold tenant is assumed
+        to cost an average request, keeping its tags in the same *unit*
+        (seconds) as everyone else's — a fixed 1.0 against millisecond
+        estimates would debit the newcomer hundreds of requests per
+        dispatch.  One virtual unit only before any measurement exists.
+        """
+        known = [
+            queue.cost_estimate
+            for queue in self._tenants.values()
+            if queue.cost_estimate is not None
+        ]
+        return sum(known) / len(known) if known else 1.0
+
     # -- queue operations ----------------------------------------------------------
 
-    def enqueue(self, tenant: str, item_id: int, item: object, limit: Optional[int] = None) -> bool:
-        """Admit one item; ``False`` means the tenant's queue was full (drop)."""
+    def enqueue(
+        self,
+        tenant: str,
+        item_id: int,
+        item: object,
+        limit: Optional[int] = None,
+        priority: int = 0,
+        deadline: Optional[float] = None,
+        cost: Optional[float] = None,
+    ) -> bool:
+        """Admit one item; ``False`` means the tenant's queue was full (drop).
+
+        ``priority`` (lower = more urgent) and ``deadline`` (absolute, in
+        engine time) only order dispatch under :attr:`IntraTenantOrder.EDF`.
+        ``cost`` overrides the tenant's EWMA estimate for this item's
+        ``wfq-cost`` tag advance (defaults to the estimate, or the fleet
+        mean — see :meth:`_default_cost` — before the tenant's first
+        measurement arrives).
+        """
         queue = self._require(tenant)
         if limit is not None and len(queue.live) >= limit:
             queue.stats.dropped += 1
             return False
-        if not queue.live and self.policy is FairnessPolicy.WFQ:
+        if not queue.live and self.policy is not FairnessPolicy.FIFO:
             # Re-entering after idleness: catch up to the current virtual
             # time so the backlog built by others is not leapfrogged, and
             # shed any stale skip count — a fresh backlog has earned no
             # starvation-guard promotion.
             queue.finish_tag = max(queue.finish_tag, self._virtual)
             queue.skipped = 0
-        queue.items.append((next(self._seq), item_id, item))
+        if cost is None:
+            cost = queue.cost_estimate if queue.cost_estimate is not None else self._default_cost()
+        if self.intra is IntraTenantOrder.EDF:
+            entry = _Entry(
+                priority=priority,
+                deadline=deadline if deadline is not None else math.inf,
+                seq=next(self._seq),
+                item_id=item_id,
+                item=item,
+                cost=cost,
+            )
+        else:
+            # Constant class keys: the heap orders purely by arrival seq.
+            entry = _Entry(
+                priority=0, deadline=0.0, seq=next(self._seq),
+                item_id=item_id, item=item, cost=cost,
+            )
+        heapq.heappush(queue.items, entry)
         queue.live.add(item_id)
         queue.stats.enqueued += 1
         return True
@@ -163,6 +292,10 @@ class FairQueue:
             return False
         queue.live.discard(item_id)
         queue.stats.timed_out += 1
+        # Eagerly prune a cancelled head: leaving the ghost in place would
+        # let the next dispatch decision key off its seq/deadline/cost until
+        # some later traversal happened to discard it.
+        self._prune(queue)
         return True
 
     def depth(self, tenant: str) -> int:
@@ -180,10 +313,15 @@ class FairQueue:
         """
         backlogged = [queue for queue in self._tenants.values() if self._head(queue) is not None]
         if self.policy is FairnessPolicy.FIFO:
-            backlogged.sort(key=lambda queue: queue.items[0][0])
+            # With EDF inside a tenant, "arrival order" means the arrival
+            # seq of whichever entry the tenant would dispatch next.
+            backlogged.sort(key=lambda queue: queue.items[0].seq)
             return [queue.name for queue in backlogged]
         starved = [queue for queue in backlogged if queue.skipped >= self.starvation_guard]
         rest = [queue for queue in backlogged if queue.skipped < self.starvation_guard]
+        # Equal virtual tags break by registration order (queue.index): the
+        # order is a pure function of registration sequence and dispatch
+        # history, never of dict iteration or hashing.
         starved.sort(key=lambda queue: (-queue.skipped, queue.finish_tag, queue.index))
         rest.sort(key=lambda queue: (queue.finish_tag, queue.index))
         return [queue.name for queue in starved + rest]
@@ -193,24 +331,29 @@ class FairQueue:
         queue = self._require(tenant)
         if self._head(queue) is None:
             raise GatewayError("tenant %r has no queued requests" % tenant)
-        _, item_id, item = queue.items.popleft()
-        queue.live.discard(item_id)
+        entry = heapq.heappop(queue.items)
+        queue.live.discard(entry.item_id)
         queue.stats.dispatched += 1
-        if self.policy is FairnessPolicy.WFQ:
+        if self.policy is not FairnessPolicy.FIFO:
             self._virtual = max(self._virtual, queue.finish_tag)
-            queue.finish_tag += 1.0 / queue.weight
+            advance = entry.cost if self.policy is FairnessPolicy.WFQ_COST else 1.0
+            queue.finish_tag += advance / queue.weight
             queue.skipped = 0
             for other in self._tenants.values():
                 if other is not queue and other.live:
                     other.skipped += 1
-        return item
+        return entry.item
 
     # -- internals -----------------------------------------------------------------
 
-    def _head(self, queue: _TenantQueue) -> Optional[Tuple[int, int, object]]:
-        """The first live entry, discarding cancelled ghosts on the way."""
-        while queue.items and queue.items[0][1] not in queue.live:
-            queue.items.popleft()
+    def _prune(self, queue: _TenantQueue) -> None:
+        """Discard cancelled ghosts sitting at the heap head."""
+        while queue.items and queue.items[0].item_id not in queue.live:
+            heapq.heappop(queue.items)
+
+    def _head(self, queue: _TenantQueue) -> Optional[_Entry]:
+        """The next live entry, discarding cancelled ghosts on the way."""
+        self._prune(queue)
         return queue.items[0] if queue.items else None
 
     def _require(self, tenant: str) -> _TenantQueue:
@@ -239,11 +382,12 @@ class IngressGateway:
         policy: RoutingPolicy = RoutingPolicy.ROUND_ROBIN,
         fairness: FairnessPolicy = FairnessPolicy.FIFO,
         starvation_guard: int = 32,
+        intra: IntraTenantOrder = IntraTenantOrder.FIFO,
     ) -> None:
         self.orchestrator = orchestrator
         self.policy = policy
         #: Admission queues (per tenant); drivers register tenants and weights.
-        self.queue = FairQueue(policy=fairness, starvation_guard=starvation_guard)
+        self.queue = FairQueue(policy=fairness, starvation_guard=starvation_guard, intra=intra)
         self._pools: Dict[str, List[_ReplicaState]] = {}
         self._round_robin_cursor: Dict[str, int] = {}
         self._replica_serial: Dict[str, int] = {}

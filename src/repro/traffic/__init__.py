@@ -11,19 +11,29 @@ measures the platform under *sustained* load, the regime the ROADMAP's
   queues them while replicas are busy or cold-starting, and executes them
   with bounded per-replica and per-node concurrency;
 * :mod:`repro.traffic.autoscaler` — a control loop (target-concurrency /
-  fixed / none policies) that grows replica pools by paying each runtime's
-  modelled cold start and reclaims replicas idle past their keep-alive;
+  fixed / none / step / predictive policies) that grows replica pools by
+  paying each runtime's modelled cold start and reclaims replicas idle
+  past their keep-alive;
+* :mod:`repro.traffic.classes` — scheduling classes: deadline and priority
+  mixes stamped deterministically onto a tenant's stream, dispatched
+  earliest-deadline-first within the tenant's queue when enabled;
+* :mod:`repro.traffic.policies` — scaling-policy comparison harness: the
+  same seeded arrivals under every candidate policy, one summary each;
 * :mod:`repro.traffic.slo` — per-request accounting rolled into p50/p95/p99
-  latency, queueing delay, timeout/drop counts and goodput;
+  latency, queueing delay, timeout/drop counts, goodput and per-class
+  deadline-met ratios;
 * :mod:`repro.traffic.tenants` — multi-tenant runs: tenant specs with
-  weights and derived seeds, weight-proportional capacity arbitration, and
-  the per-tenant/cluster rollup shared-cluster runs produce;
+  weights, class mixes and derived seeds, weight-proportional capacity
+  arbitration, and the per-tenant/cluster rollup shared-cluster runs
+  produce;
 * :mod:`repro.traffic.report` — the plain-text reports
   ``python -m repro traffic`` prints.
 
 This opens scenario axes the paper never swept: load level x arrival
-pattern x runtime under identical seeded arrival streams, and tenant mix x
-gateway fairness policy over one contended cluster (noisy neighbours).
+pattern x runtime under identical seeded arrival streams, tenant mix x
+gateway fairness policy over one contended cluster (noisy neighbours),
+class mix x intra-tenant ordering (EDF vs FIFO), and arrival pattern x
+scaling policy (reactive vs step vs predictive).
 """
 
 from repro.traffic.arrivals import (
@@ -41,11 +51,24 @@ from repro.traffic.autoscaler import (
     FixedReplicasPolicy,
     LoadSample,
     NoScalingPolicy,
+    PredictiveScalingPolicy,
     ScalingDecision,
     ScalingPolicy,
+    StepScalingPolicy,
     TargetConcurrencyPolicy,
 )
-from repro.platform.gateway import FairnessPolicy, FairQueue, TenantQueueStats
+from repro.platform.gateway import (
+    FairnessPolicy,
+    FairQueue,
+    IntraTenantOrder,
+    TenantQueueStats,
+)
+from repro.traffic.classes import (
+    RequestClass,
+    RequestClassError,
+    assign_classes,
+    parse_classes,
+)
 from repro.traffic.engine import (
     TRAFFIC_MODES,
     MultiTenantTrafficEngine,
@@ -54,7 +77,21 @@ from repro.traffic.engine import (
     TrafficEngineError,
     run_comparison,
 )
-from repro.traffic.slo import RequestOutcome, RequestRecord, TrafficSummary, summarize
+from repro.traffic.policies import (
+    SCALING_POLICIES,
+    autoscaler_factory,
+    compare_scaling_policies,
+    make_scaling_policy,
+    policy_cluster_summaries,
+)
+from repro.traffic.slo import (
+    ClassSummary,
+    RequestOutcome,
+    RequestRecord,
+    TrafficSummary,
+    summarize,
+    summarize_classes,
+)
 from repro.traffic.tenants import (
     CapacityArbiter,
     MultiTenantSummary,
@@ -63,7 +100,12 @@ from repro.traffic.tenants import (
     derived_seed,
     parse_tenants,
 )
-from repro.traffic.report import render_multi_tenant_report, render_traffic_report
+from repro.traffic.report import (
+    render_class_table,
+    render_multi_tenant_report,
+    render_policy_comparison,
+    render_traffic_report,
+)
 
 __all__ = [
     "ArrivalError",
@@ -81,6 +123,20 @@ __all__ = [
     "TargetConcurrencyPolicy",
     "FixedReplicasPolicy",
     "NoScalingPolicy",
+    "StepScalingPolicy",
+    "PredictiveScalingPolicy",
+    "SCALING_POLICIES",
+    "make_scaling_policy",
+    "autoscaler_factory",
+    "compare_scaling_policies",
+    "policy_cluster_summaries",
+    "RequestClass",
+    "RequestClassError",
+    "assign_classes",
+    "parse_classes",
+    "ClassSummary",
+    "summarize_classes",
+    "IntraTenantOrder",
     "TRAFFIC_MODES",
     "TrafficConfig",
     "TrafficEngine",
@@ -102,4 +158,6 @@ __all__ = [
     "parse_tenants",
     "render_traffic_report",
     "render_multi_tenant_report",
+    "render_class_table",
+    "render_policy_comparison",
 ]

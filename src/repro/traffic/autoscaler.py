@@ -14,7 +14,13 @@ Policies are pluggable:
   ``target_concurrency`` requests per replica;
 * :class:`FixedReplicasPolicy` — a static pool (what the paper's fan-out
   experiments implicitly assume);
-* :class:`NoScalingPolicy` — never change the pool (pure queueing).
+* :class:`NoScalingPolicy` — never change the pool (pure queueing);
+* :class:`StepScalingPolicy` — AWS-style threshold bands: step the pool up
+  when utilisation leaves the band, with a cooldown between actions so a
+  constant load never makes it thrash;
+* :class:`PredictiveScalingPolicy` — a Holt (level + trend) forecast of the
+  arrival rate sized via Little's law, pre-warming replicas ``horizon_s``
+  ahead of a diurnal ramp instead of paying the cold starts at its crest.
 """
 
 from __future__ import annotations
@@ -22,7 +28,7 @@ from __future__ import annotations
 import math
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
-from typing import List, Tuple
+from typing import List, Optional
 
 
 class AutoscalerError(ValueError):
@@ -37,6 +43,10 @@ class LoadSample:
     in_flight: int
     queued: int
     replicas: int
+    #: Mean arrival rate since the previous tick (0.0 when unknown).
+    arrival_rate_rps: float = 0.0
+    #: EWMA of measured service times, fed back from the engine (0.0 = no data).
+    service_time_s: float = 0.0
 
     @property
     def demand(self) -> int:
@@ -89,6 +99,145 @@ class NoScalingPolicy(ScalingPolicy):
 
     def desired_replicas(self, sample: LoadSample) -> int:
         return sample.replicas
+
+
+class StepScalingPolicy(ScalingPolicy):
+    """Threshold bands with a cooldown: step up/down, never thrash.
+
+    Utilisation is demand per replica.  Above ``high_utilisation`` the pool
+    grows by ``step`` replicas, below ``low_utilisation`` it shrinks by
+    ``step`` — but never twice within ``cooldown_s``, so one load change
+    ripples through as a staircase instead of an overshooting jump, and a
+    constant load inside the band never moves the pool at all.
+
+    The policy is stateful (it remembers its last action time); give each
+    engine run a fresh instance, as the autoscaler factories do.
+    """
+
+    name = "step"
+
+    def __init__(
+        self,
+        high_utilisation: float = 2.0,
+        low_utilisation: float = 0.5,
+        step: int = 1,
+        cooldown_s: float = 10.0,
+    ) -> None:
+        if high_utilisation <= low_utilisation:
+            raise AutoscalerError("high_utilisation must exceed low_utilisation")
+        if low_utilisation < 0:
+            raise AutoscalerError("low_utilisation must be non-negative")
+        if step < 1:
+            raise AutoscalerError("step must be >= 1")
+        if cooldown_s < 0:
+            raise AutoscalerError("cooldown_s must be non-negative")
+        self.high_utilisation = high_utilisation
+        self.low_utilisation = low_utilisation
+        self.step = step
+        self.cooldown_s = cooldown_s
+        self._last_action_s: Optional[float] = None
+        self._replicas_at_action: Optional[int] = None
+
+    def desired_replicas(self, sample: LoadSample) -> int:
+        if (
+            self._last_action_s is not None
+            and sample.replicas == self._replicas_at_action
+        ):
+            # The recommended change never took effect (clamped at the
+            # autoscaler's min/max or denied by the capacity arbiter): a
+            # no-op starts no cooldown, or a pool pinned at a bound would
+            # keep deferring its next *real* action by a full cooldown.
+            self._last_action_s = None
+        if (
+            self._last_action_s is not None
+            and sample.time_s - self._last_action_s < self.cooldown_s
+        ):
+            return sample.replicas
+        utilisation = sample.demand / max(1, sample.replicas)
+        if utilisation > self.high_utilisation:
+            self._note_action(sample)
+            return sample.replicas + self.step
+        if utilisation < self.low_utilisation and sample.replicas > 1:
+            self._note_action(sample)
+            return sample.replicas - self.step
+        return sample.replicas
+
+    def _note_action(self, sample: LoadSample) -> None:
+        self._last_action_s = sample.time_s
+        self._replicas_at_action = sample.replicas
+
+
+class PredictiveScalingPolicy(ScalingPolicy):
+    """Holt's linear forecast of the arrival rate, sized via Little's law.
+
+    Each tick folds the observed arrival rate into a smoothed level and
+    trend, extrapolates ``horizon_s`` ahead, and sizes the pool for the
+    *forecast* rate: ``forecast × service_time / target_concurrency``
+    replicas (Little's law).  On a diurnal ramp the positive trend makes
+    the forecast lead the actual rate, so replicas are registered — and
+    their cold starts paid — *before* the crest arrives; a purely reactive
+    policy pays them at the crest, while the backlog is already growing.
+    The reactive demand floor keeps a backlog from outwaiting a bad
+    forecast.
+
+    Stateful like :class:`StepScalingPolicy`: one instance per run.
+    """
+
+    name = "predictive"
+
+    def __init__(
+        self,
+        horizon_s: float = 10.0,
+        alpha: float = 0.5,
+        beta: float = 0.3,
+        target_concurrency: float = 1.0,
+    ) -> None:
+        if horizon_s < 0:
+            raise AutoscalerError("horizon_s must be non-negative")
+        if not 0.0 < alpha <= 1.0 or not 0.0 < beta <= 1.0:
+            raise AutoscalerError("alpha and beta must be in (0, 1]")
+        if target_concurrency <= 0:
+            raise AutoscalerError("target_concurrency must be positive")
+        self.horizon_s = horizon_s
+        self.alpha = alpha
+        self.beta = beta
+        self.target_concurrency = target_concurrency
+        self._level: Optional[float] = None
+        self._trend = 0.0
+        self._last_time_s: Optional[float] = None
+
+    def forecast_rps(self) -> float:
+        """The rate the policy currently expects ``horizon_s`` from now."""
+        if self._level is None:
+            return 0.0
+        return max(0.0, self._level + self._trend * self.horizon_s)
+
+    def desired_replicas(self, sample: LoadSample) -> int:
+        rate = max(0.0, sample.arrival_rate_rps)
+        if self._level is None:
+            self._level = rate
+        else:
+            interval = 1.0
+            if self._last_time_s is not None and sample.time_s > self._last_time_s:
+                interval = sample.time_s - self._last_time_s
+            previous = self._level
+            self._level = self.alpha * rate + (1.0 - self.alpha) * (
+                previous + self._trend * interval
+            )
+            # Trend is kept per second so the horizon extrapolation is
+            # independent of the control interval.
+            self._trend = (
+                self.beta * ((self._level - previous) / interval)
+                + (1.0 - self.beta) * self._trend
+            )
+        self._last_time_s = sample.time_s
+        reactive = int(math.ceil(sample.demand / self.target_concurrency))
+        predicted = 0
+        if sample.service_time_s > 0:
+            predicted = int(
+                math.ceil(self.forecast_rps() * sample.service_time_s / self.target_concurrency)
+            )
+        return max(reactive, predicted)
 
 
 @dataclass(frozen=True)

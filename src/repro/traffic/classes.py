@@ -1,0 +1,163 @@
+"""Request scheduling classes: deadlines and priority tiers within a tenant.
+
+PR 2 made the gateway fair *across* tenants; this module differentiates
+traffic *within* one: a :class:`RequestClass` names one kind of request a
+tenant sends (an interactive call with a tight deadline, a batch job with
+none), the share of the tenant's stream it makes up, the priority tier it
+dispatches in and the relative deadline each of its requests carries.
+:func:`assign_classes` stamps a seeded class mix onto a request stream —
+deterministically, so two runs compared under different scheduling policies
+see byte-identical classed arrivals — and :func:`parse_classes` reads the
+``repro traffic --classes`` JSON format.
+
+Deadlines are soft SLOs: a request that misses its deadline still executes
+and completes, it just counts as a miss in the per-class deadline-met
+ratio (:class:`~repro.traffic.slo.ClassSummary`).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import random
+from dataclasses import dataclass, replace
+from typing import List, Optional, Sequence, Tuple
+
+from repro.traffic.arrivals import Request
+
+
+class RequestClassError(ValueError):
+    """Raised for invalid class definitions or mixes."""
+
+
+#: Characters banned from class names: they delimit the export encoding.
+_RESERVED_CHARS = ("|", "/", ",")
+
+
+@dataclass(frozen=True)
+class RequestClass:
+    """One scheduling class of a tenant's traffic mix."""
+
+    name: str
+    #: Fraction weight of the tenant's stream this class makes up.
+    share: float = 1.0
+    #: Dispatch tier under EDF: lower is served first (0 = most urgent).
+    priority: int = 0
+    #: Relative deadline from arrival, in seconds (``None`` = no deadline).
+    deadline_s: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise RequestClassError("class name must be non-empty")
+        for char in _RESERVED_CHARS:
+            if char in self.name:
+                raise RequestClassError(
+                    "class name %r must not contain %r (reserved for exports)"
+                    % (self.name, char)
+                )
+        if self.share <= 0:
+            raise RequestClassError("class %r: share must be positive" % self.name)
+        if self.deadline_s is not None and self.deadline_s <= 0:
+            raise RequestClassError("class %r: deadline must be positive" % self.name)
+
+
+def validate_mix(classes: Sequence[RequestClass]) -> Tuple[RequestClass, ...]:
+    """Check a class mix for duplicates and return it as a tuple."""
+    names = [cls.name for cls in classes]
+    if len(set(names)) != len(names):
+        raise RequestClassError("class names must be unique, got %s" % names)
+    return tuple(classes)
+
+
+def assign_classes(
+    requests: Sequence[Request],
+    classes: Sequence[RequestClass],
+    seed: int = 0,
+) -> List[Request]:
+    """Stamp a seeded class mix onto a request stream.
+
+    Each request draws its class share-weighted from ``classes`` using a
+    dedicated RNG, so the assignment depends only on (``seed``, request
+    count) — never on arrival times — and identical streams get identical
+    classes whatever scheduling policy later serves them.  A request's
+    absolute deadline is its arrival plus the class's relative deadline.
+    """
+    mix = validate_mix(classes)
+    if not mix:
+        return list(requests)
+    rng = random.Random(seed)
+    shares = [cls.share for cls in mix]
+    stamped: List[Request] = []
+    for request in requests:
+        chosen = rng.choices(mix, weights=shares, k=1)[0]
+        stamped.append(
+            replace(
+                request,
+                request_class=chosen.name,
+                priority=chosen.priority,
+                deadline_s=(
+                    request.arrival_s + chosen.deadline_s
+                    if chosen.deadline_s is not None
+                    else None
+                ),
+            )
+        )
+    return stamped
+
+
+# -- config parsing (the ``repro traffic --classes`` format) ------------------------
+
+#: Recognised keys of one class object in a ``--classes`` config.
+_CLASS_KEYS = frozenset({"name", "share", "priority", "deadline"})
+
+
+def parse_classes(source: str) -> Tuple[RequestClass, ...]:
+    """Parse a ``--classes`` config: a JSON array, inline or a file path.
+
+    Each element describes one class::
+
+        {"name": "interactive", "share": 0.5, "priority": 0, "deadline": 2.0}
+
+    ``share`` defaults to 1.0 (equal mix), ``priority`` to 0 and
+    ``deadline`` (relative seconds) to none.
+    """
+    text = source
+    if os.path.exists(source):
+        try:
+            with open(source, "r", encoding="utf-8") as handle:
+                text = handle.read()
+        except OSError as exc:
+            raise RequestClassError("cannot read classes config %r: %s" % (source, exc))
+    try:
+        raw = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise RequestClassError("classes config is not valid JSON: %s" % exc)
+    if not isinstance(raw, list) or not raw:
+        raise RequestClassError("classes config must be a non-empty JSON array")
+    classes: List[RequestClass] = []
+    for index, entry in enumerate(raw):
+        if not isinstance(entry, dict):
+            raise RequestClassError("class #%d must be a JSON object" % index)
+        unknown = sorted(set(entry) - _CLASS_KEYS)
+        if unknown:
+            raise RequestClassError(
+                "class #%d has unknown keys: %s" % (index, ", ".join(unknown))
+            )
+        if "name" not in entry:
+            raise RequestClassError("class #%d is missing 'name'" % index)
+        try:
+            classes.append(
+                RequestClass(
+                    name=str(entry["name"]),
+                    share=float(entry.get("share", 1.0)),
+                    priority=int(entry.get("priority", 0)),
+                    deadline_s=(
+                        float(entry["deadline"]) if entry.get("deadline") is not None else None
+                    ),
+                )
+            )
+        except (TypeError, ValueError) as exc:
+            if isinstance(exc, RequestClassError):
+                raise
+            raise RequestClassError("class #%d has a malformed value: %s" % (index, exc))
+    return validate_mix(classes)

@@ -41,7 +41,12 @@ from repro.experiments.environment import build_pair_setup
 from repro.platform.deployment import DeployedFunction
 from repro.platform.cluster import Cluster
 from repro.platform.function import FunctionSpec
-from repro.platform.gateway import FairnessPolicy, IngressGateway, RoutingPolicy
+from repro.platform.gateway import (
+    FairnessPolicy,
+    IngressGateway,
+    IntraTenantOrder,
+    RoutingPolicy,
+)
 from repro.platform.orchestrator import Orchestrator
 from repro.sim.clock import SimClock
 from repro.sim.costs import CostModel, DEFAULT_COST_MODEL
@@ -129,6 +134,9 @@ class _TenantState:
     timeline: List[Tuple[float, int]] = field(default_factory=list)
     cold_starts: int = 0
     cold_start_seconds: float = 0.0
+    # Arrival-rate sampling for predictive scaling policies.
+    arrivals_since_tick: int = 0
+    last_tick_s: float = 0.0
 
     @property
     def name(self) -> str:
@@ -167,6 +175,7 @@ class MultiTenantTrafficEngine:
         autoscaler_factory: Optional[Callable[[], Autoscaler]] = None,
         oversubscription: float = 2.0,
         service_cache: Optional[Dict[Tuple[str, int], float]] = None,
+        intra: IntraTenantOrder = IntraTenantOrder.FIFO,
     ) -> None:
         if not tenants:
             raise TrafficEngineError("need at least one tenant")
@@ -194,6 +203,7 @@ class MultiTenantTrafficEngine:
         self.config = config or TrafficConfig()
         self.fairness = fairness
         self.starvation_guard = starvation_guard
+        self.intra = intra
         self.oversubscription = oversubscription
         self.autoscaler_factory = autoscaler_factory or (
             lambda: Autoscaler(TargetConcurrencyPolicy(1.0))
@@ -240,6 +250,7 @@ class MultiTenantTrafficEngine:
             policy=self.config.routing,
             fairness=self.fairness,
             starvation_guard=self.starvation_guard,
+            intra=self.intra,
         )
         for state in states:
             gateway.queue.register_tenant(state.name, state.spec.weight)
@@ -351,6 +362,11 @@ class MultiTenantTrafficEngine:
                     )
                     replica = state.by_name[deployed.name]
                     service = self._service_time(state.spec.mode, request.payload_bytes)
+                    # Feed the measured service time back into the queue's
+                    # per-tenant EWMA: later enqueues snapshot it as their
+                    # wfq-cost tag advance, and the autoscaler reads it as
+                    # the Little's-law service-time estimate.
+                    gateway.queue.record_service_cost(tenant_name, service)
                     # The part of this request's wait actually spent watching
                     # its replica cold-start: the overlap of [arrival,
                     # dispatch] with the warm-up window, not the whole delay.
@@ -378,6 +394,8 @@ class MultiTenantTrafficEngine:
                                 completion_s=completion,
                                 replica=replica.deployed.name,
                                 cold_start_wait_s=cold_wait,
+                                request_class=request.request_class,
+                                deadline_s=request.deadline_s,
                             )
                         )
                         run_state["remaining"] -= 1
@@ -391,8 +409,14 @@ class MultiTenantTrafficEngine:
 
         def arrive(state: _TenantState, request: Request) -> None:
             note(request.arrival_s)
+            state.arrivals_since_tick += 1
             admitted = gateway.queue.enqueue(
-                state.name, request.request_id, request, limit=self.config.max_queue
+                state.name,
+                request.request_id,
+                request,
+                limit=self.config.max_queue,
+                priority=request.priority,
+                deadline=request.deadline_s,
             )
             if not admitted:
                 state.records.append(
@@ -401,6 +425,8 @@ class MultiTenantTrafficEngine:
                         function=state.function,
                         outcome=RequestOutcome.DROPPED,
                         arrival_s=request.arrival_s,
+                        request_class=request.request_class,
+                        deadline_s=request.deadline_s,
                     )
                 )
                 run_state["remaining"] -= 1
@@ -422,6 +448,8 @@ class MultiTenantTrafficEngine:
                     function=state.function,
                     outcome=RequestOutcome.TIMED_OUT,
                     arrival_s=request.arrival_s,
+                    request_class=request.request_class,
+                    deadline_s=request.deadline_s,
                 )
             )
             run_state["remaining"] -= 1
@@ -431,11 +459,18 @@ class MultiTenantTrafficEngine:
             if run_state["remaining"] <= 0:
                 return
             now = loop.now
+            interval = now - state.last_tick_s
+            rate = state.arrivals_since_tick / interval if interval > 0 else 0.0
+            state.arrivals_since_tick = 0
+            state.last_tick_s = now
+            estimate = gateway.queue.cost_estimate(state.name)
             sample = LoadSample(
                 time_s=now,
                 in_flight=gateway.total_in_flight(state.function) if state.replicas else 0,
                 queued=gateway.queue.depth(state.name),
                 replicas=len(state.replicas),
+                arrival_rate_rps=rate,
+                service_time_s=estimate if estimate is not None else 0.0,
             )
             decision = state.autoscaler.evaluate(sample)
             if decision.scale_up:
@@ -527,10 +562,12 @@ class MultiTenantTrafficEngine:
     ) -> MultiTenantSummary:
         tenants: Dict[str, TrafficSummary] = {}
         all_records: List[RequestRecord] = []
+        declared_union: List[str] = []
         for state in states:
             state.records.sort(key=lambda record: record.request_id)
             self.records[state.name] = state.records
             all_records.extend(state.records)
+            declared_union.extend(state.spec.class_names)
             tenants[state.name] = summarize(
                 mode=state.spec.mode,
                 pattern=state.spec.pattern_name,
@@ -539,6 +576,7 @@ class MultiTenantTrafficEngine:
                 cold_starts=state.cold_starts,
                 cold_start_seconds=state.cold_start_seconds,
                 replica_timeline=state.timeline,
+                declared_classes=state.spec.class_names,
             )
         cluster = summarize(
             mode="cluster",
@@ -548,6 +586,7 @@ class MultiTenantTrafficEngine:
             cold_starts=sum(state.cold_starts for state in states),
             cold_start_seconds=sum(state.cold_start_seconds for state in states),
             replica_timeline=_merge_timelines([state.timeline for state in states]),
+            declared_classes=sorted(set(declared_union)),
         )
         return MultiTenantSummary(
             fairness=self.fairness.value,
@@ -610,6 +649,7 @@ class TrafficEngine:
         mode: str,
         autoscaler: Optional[Autoscaler] = None,
         config: Optional[TrafficConfig] = None,
+        intra: IntraTenantOrder = IntraTenantOrder.FIFO,
     ) -> None:
         if mode not in TRAFFIC_MODES:
             raise TrafficEngineError(
@@ -618,6 +658,7 @@ class TrafficEngine:
         self.mode = mode
         self.config = config or TrafficConfig()
         self.autoscaler = autoscaler or Autoscaler(TargetConcurrencyPolicy(1.0))
+        self.intra = intra
         self.records: List[RequestRecord] = []
         self.clock = SimClock()
         self._service_cache: Dict[Tuple[str, int], float] = {}
@@ -650,6 +691,7 @@ class TrafficEngine:
             autoscaler_factory=lambda: self.autoscaler,
             oversubscription=1.0,  # replicas beyond the cores could never serve
             service_cache=self._service_cache,
+            intra=self.intra,
         )
         engine.clock = self.clock  # one simulated timeline across runs
         result = engine.run()
@@ -663,6 +705,7 @@ def run_comparison(
     autoscaler_factory=None,
     config: Optional[TrafficConfig] = None,
     pattern: str = "trace",
+    intra: IntraTenantOrder = IntraTenantOrder.FIFO,
 ) -> Dict[str, TrafficSummary]:
     """Run the *same* arrival stream against several runtimes.
 
@@ -674,6 +717,6 @@ def run_comparison(
     results: Dict[str, TrafficSummary] = {}
     for mode in modes:
         autoscaler = autoscaler_factory() if autoscaler_factory else None
-        engine = TrafficEngine(mode, autoscaler=autoscaler, config=config)
+        engine = TrafficEngine(mode, autoscaler=autoscaler, config=config, intra=intra)
         results[mode] = engine.run(requests, pattern=pattern)
     return results

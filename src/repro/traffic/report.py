@@ -3,7 +3,11 @@
 One table of SLO numbers per compared runtime (or per tenant of a shared
 cluster), one latency-distribution table (shared formatting with every
 other latency report in the reproduction), and a replica-count-over-time
-strip per mode so autoscaler behaviour is visible without plotting.
+strip per mode so autoscaler behaviour is visible without plotting.  Runs
+with scheduling classes add a per-class table (volume, deadline-met ratio,
+tail latency per class), and policy-comparison runs get a dedicated table
+lining up p99, deadline attainment, cold starts and replica-seconds across
+scaling policies.
 """
 
 from __future__ import annotations
@@ -115,6 +119,90 @@ def _bucketize(
     return samples
 
 
+def render_class_table(
+    results: Mapping[str, TrafficSummary],
+    title: str = "Scheduling classes",
+    label: str = "tenant",
+) -> str:
+    """Per-class SLO attainment: one row per (tenant/mode, class)."""
+    headers = [
+        label,
+        "class",
+        "offered",
+        "completed",
+        "timed out",
+        "dropped",
+        "deadline met",
+        "deadline total",
+        "met ratio",
+        "p50 (s)",
+        "p99 (s)",
+    ]
+    rows = [
+        [
+            key,
+            cls.name,
+            cls.offered,
+            cls.completed,
+            cls.timed_out,
+            cls.dropped,
+            cls.deadline_met,
+            cls.deadline_total,
+            cls.deadline_met_ratio,
+            cls.latency.p50_s,
+            cls.latency.p99_s,
+        ]
+        for key, summary in results.items()
+        for cls in summary.classes
+    ]
+    return format_table(headers, rows, title=title)
+
+
+def _has_class_structure(results: Mapping[str, TrafficSummary]) -> bool:
+    """Whether any run carries more than the implicit single default class."""
+    return any(
+        len(summary.classes) > 1 or summary.deadline_total > 0
+        for summary in results.values()
+    )
+
+
+def render_policy_comparison(results: Mapping[str, TrafficSummary]) -> str:
+    """The policy-comparison headline: SLO vs provisioning cost per policy."""
+    headers = [
+        "policy",
+        "completed",
+        "p99 (s)",
+        "deadline met ratio",
+        "cold starts",
+        "cold start (s)",
+        "replica-seconds",
+        "max replicas",
+        "goodput (rps)",
+    ]
+    rows = [
+        [
+            policy,
+            summary.completed,
+            summary.latency.p99_s,
+            summary.deadline_met_ratio,
+            summary.cold_starts,
+            summary.cold_start_seconds,
+            summary.replica_seconds,
+            summary.max_replicas,
+            summary.goodput_rps,
+        ]
+        for policy, summary in results.items()
+    ]
+    parts = [
+        format_table(
+            headers, rows, title="Scaling-policy comparison (same seeded arrivals)"
+        )
+    ]
+    if _has_class_structure(results):
+        parts.extend(["", render_class_table(results, label="policy")])
+    return "\n".join(parts)
+
+
 def render_fairness_table(summary: MultiTenantSummary) -> str:
     """Gateway admission accounting: weights, dispatches, drops, timeouts."""
     headers = ["tenant", "weight", "enqueued", "dispatched", "dropped", "timed out"]
@@ -136,11 +224,15 @@ def render_multi_tenant_report(summary: MultiTenantSummary) -> str:
         "",
         render_fairness_table(summary),
         "",
+    ]
+    if _has_class_structure(labelled):
+        parts.extend([render_class_table(labelled), ""])
+    parts.extend([
         render_latency_tables(labelled, label="tenant"),
         "",
         render_summary_table({"cluster": summary.cluster}, title="Cluster rollup", label="scope"),
         "",
-    ]
+    ])
     parts.extend(
         render_replica_timeline(tenant_summary, label=name)
         for name, tenant_summary in summary.tenants.items()
@@ -161,8 +253,12 @@ def render_traffic_report(results: Mapping[str, TrafficSummary]) -> str:
         "",
         render_summary_table(results),
         "",
+    ]
+    if _has_class_structure(results):
+        parts.extend([render_class_table(results, label="mode"), ""])
+    parts.extend([
         render_latency_tables(results),
         "",
-    ]
+    ])
     parts.extend(render_replica_timeline(summary) for summary in results.values())
     return "\n".join(parts)

@@ -6,6 +6,13 @@ end-to-end latency, queueing delay separated from service time, timeout and
 drop counts, and goodput (completed requests per second of simulated time —
 dropped or timed-out requests produce no good output, however much CPU they
 burned).
+
+Requests carry a scheduling class (:mod:`repro.traffic.classes`), so the
+rollup is also per class: each :class:`ClassSummary` tracks the class's
+volume counters, its latency distribution and its deadline-met ratio — the
+SLO attainment number deadline-aware scheduling (EDF at the gateway) is
+supposed to move.  Classes a tenant declared but never exercised still get
+a zero row, so exports always carry the full class list.
 """
 
 from __future__ import annotations
@@ -49,6 +56,8 @@ class RequestRecord:
     completion_s: Optional[float] = None
     replica: str = ""
     cold_start_wait_s: float = 0.0
+    request_class: str = "standard"
+    deadline_s: Optional[float] = None  # absolute soft deadline, if any
 
     def __post_init__(self) -> None:
         if self.outcome is RequestOutcome.COMPLETED:
@@ -78,6 +87,77 @@ class RequestRecord:
             return 0.0
         return self.completion_s - self.arrival_s
 
+    @property
+    def deadline_met(self) -> Optional[bool]:
+        """Whether the deadline was met (``None`` when the request had none).
+
+        A dropped or timed-out request with a deadline missed it by
+        definition: it never produced output at all.
+        """
+        if self.deadline_s is None:
+            return None
+        return self.outcome is RequestOutcome.COMPLETED and self.completion_s <= self.deadline_s
+
+
+@dataclass(frozen=True)
+class ClassSummary:
+    """One scheduling class's slice of a tenant's (or the cluster's) run."""
+
+    name: str
+    offered: int
+    completed: int
+    timed_out: int
+    dropped: int
+    #: Requests of this class that carried a deadline / met it.
+    deadline_total: int
+    deadline_met: int
+    latency: LatencySummary
+
+    @property
+    def deadline_missed(self) -> int:
+        return self.deadline_total - self.deadline_met
+
+    @property
+    def deadline_met_ratio(self) -> float:
+        """Fraction of deadline-carrying requests served in time (1.0 if none)."""
+        if self.deadline_total == 0:
+            return 1.0
+        return self.deadline_met / self.deadline_total
+
+
+def summarize_classes(
+    records: Sequence["RequestRecord"],
+    declared: Sequence[str] = (),
+) -> Tuple[ClassSummary, ...]:
+    """Roll records into per-class summaries, sorted by class name.
+
+    ``declared`` lists class names that must appear even with zero
+    requests, so a quiet class still exports (and round-trips) its row.
+    """
+    names = sorted(set(declared) | {record.request_class for record in records})
+    summaries = []
+    for name in names:
+        mine = [record for record in records if record.request_class == name]
+        completed = [r for r in mine if r.outcome is RequestOutcome.COMPLETED]
+        with_deadline = [r for r in mine if r.deadline_s is not None]
+        summaries.append(
+            ClassSummary(
+                name=name,
+                offered=len(mine),
+                completed=len(completed),
+                timed_out=sum(1 for r in mine if r.outcome is RequestOutcome.TIMED_OUT),
+                dropped=sum(1 for r in mine if r.outcome is RequestOutcome.DROPPED),
+                deadline_total=len(with_deadline),
+                deadline_met=sum(1 for r in with_deadline if r.deadline_met),
+                latency=(
+                    LatencySummary.from_samples([r.latency_s for r in completed])
+                    if completed
+                    else LatencySummary.empty()
+                ),
+            )
+        )
+    return tuple(summaries)
+
 
 @dataclass(frozen=True)
 class TrafficSummary:
@@ -98,6 +178,24 @@ class TrafficSummary:
     replica_seconds: float
     max_replicas: int
     replica_timeline: Tuple[Tuple[float, int], ...]
+    #: Per-scheduling-class rollup (sorted by class name).
+    classes: Tuple[ClassSummary, ...] = ()
+
+    @property
+    def deadline_total(self) -> int:
+        return sum(cls.deadline_total for cls in self.classes)
+
+    @property
+    def deadline_met(self) -> int:
+        return sum(cls.deadline_met for cls in self.classes)
+
+    @property
+    def deadline_met_ratio(self) -> float:
+        """Fraction of deadline-carrying requests served in time (1.0 if none)."""
+        total = self.deadline_total
+        if total == 0:
+            return 1.0
+        return self.deadline_met / total
 
     @property
     def goodput_rps(self) -> float:
@@ -128,6 +226,7 @@ def summarize(
     cold_starts: int = 0,
     cold_start_seconds: float = 0.0,
     replica_timeline: Sequence[Tuple[float, int]] = (),
+    declared_classes: Sequence[str] = (),
 ) -> TrafficSummary:
     """Roll per-request records into one :class:`TrafficSummary`."""
     if duration_s <= 0:
@@ -157,6 +256,7 @@ def summarize(
         replica_seconds=_replica_seconds(replica_timeline, duration_s),
         max_replicas=max((count for _, count in replica_timeline), default=0),
         replica_timeline=tuple(replica_timeline),
+        classes=summarize_classes(records, declared=declared_classes),
     )
 
 

@@ -33,6 +33,7 @@ from repro.traffic.arrivals import (
     PoissonArrivals,
     Request,
 )
+from repro.traffic.classes import RequestClass, assign_classes, parse_classes, validate_mix
 from repro.traffic.slo import TrafficSummary
 
 
@@ -68,6 +69,8 @@ class TenantSpec:
     function: Optional[str] = None
     #: Pattern label for reports; defaults to the arrival process's name.
     pattern: Optional[str] = None
+    #: Scheduling-class mix stamped onto the stream (empty = single class).
+    classes: Tuple[RequestClass, ...] = ()
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -78,6 +81,7 @@ class TenantSpec:
             raise TenantError(
                 "tenant %r needs exactly one of arrivals or requests" % self.name
             )
+        object.__setattr__(self, "classes", validate_mix(self.classes))
 
     @property
     def function_name(self) -> str:
@@ -91,14 +95,29 @@ class TenantSpec:
             return self.arrivals.name
         return "trace"
 
+    @property
+    def class_names(self) -> Tuple[str, ...]:
+        """Declared class names (for zero-request rows in the SLO rollup)."""
+        return tuple(cls.name for cls in self.classes)
+
     def generate(self) -> List[Request]:
-        """The tenant's request stream, retagged with its function name."""
+        """The tenant's request stream, retagged with its function name.
+
+        A declared class mix is stamped on deterministically: the class
+        RNG seed derives from the arrival seed (or zero for explicit
+        request lists) and the tenant name, so identical specs always
+        produce identically classed streams.
+        """
         base = list(self.requests) if self.requests is not None else self.arrivals.generate()
         function = self.function_name
-        return [
+        stream = [
             request if request.function == function else replace(request, function=function)
             for request in base
         ]
+        if self.classes:
+            seed = derived_seed(getattr(self.arrivals, "seed", 0) or 0, self.name + "/classes")
+            stream = assign_classes(stream, self.classes, seed=seed)
+        return stream
 
 
 class CapacityArbiter:
@@ -213,7 +232,7 @@ class MultiTenantSummary:
 _TENANT_KEYS = frozenset(
     {
         "name", "pattern", "rps", "duration", "payload_mb", "seed", "weight",
-        "mode", "burst_on", "burst_off", "period", "trough_rps",
+        "mode", "burst_on", "burst_off", "period", "trough_rps", "classes",
     }
 )
 
@@ -223,6 +242,7 @@ def parse_tenants(
     default_mode: str = "roadrunner-user",
     base_seed: int = 0,
     default_duration: float = 30.0,
+    default_classes: Tuple[RequestClass, ...] = (),
 ) -> List[TenantSpec]:
     """Parse a ``--tenants`` config: a JSON array, inline or a file path.
 
@@ -235,6 +255,9 @@ def parse_tenants(
     ``burst_off`` windows) or ``diurnal`` (``period``, ``trough_rps``).
     ``seed`` is optional: omitted, it derives from ``base_seed`` and the
     tenant name, so streams stay independent and reproducible.
+    ``classes`` is an optional scheduling-class mix in the ``--classes``
+    format (see :func:`repro.traffic.classes.parse_classes`); tenants
+    without one inherit ``default_classes``.
     """
     text = source
     if os.path.exists(source):
@@ -300,12 +323,24 @@ def parse_tenants(
             raise TenantError(
                 "tenant %r: unknown pattern %r (use poisson, bursty or diurnal)" % (name, pattern)
             )
+        classes = default_classes
+        if entry.get("classes") is not None:
+            raw_classes = entry["classes"]
+            try:
+                # A string is the --classes format itself (inline JSON or a
+                # file path); an inline array re-serialises into it.
+                classes = parse_classes(
+                    raw_classes if isinstance(raw_classes, str) else json.dumps(raw_classes)
+                )
+            except ValueError as exc:
+                raise TenantError("tenant %r: invalid classes: %s" % (name, exc))
         specs.append(
             TenantSpec(
                 name=name,
                 mode=str(entry.get("mode", default_mode)),
                 weight=weight,
                 arrivals=arrivals,
+                classes=classes,
             )
         )
     names = [spec.name for spec in specs]

@@ -1,0 +1,134 @@
+"""CLI paths for scheduling classes and the scaling-policy comparison."""
+
+import io
+import json
+from contextlib import redirect_stderr, redirect_stdout
+
+from repro.cli import main
+from repro.metrics.export import figure_from_csv, traffic_from_figure
+
+CLASSES = json.dumps(
+    [
+        {"name": "interactive", "share": 0.6, "priority": 0, "deadline": 1.0},
+        {"name": "batch", "share": 0.4, "priority": 1},
+    ]
+)
+
+
+def _run(argv):
+    out, err = io.StringIO(), io.StringIO()
+    with redirect_stdout(out), redirect_stderr(err):
+        code = main(argv)
+    return code, out.getvalue(), err.getvalue()
+
+
+def _quick(*extra):
+    return [
+        "traffic", "--pattern", "poisson", "--rps", "15", "--duration", "3",
+        "--modes", "roadrunner-user", "--payload-mb", "1",
+    ] + list(extra)
+
+
+def test_traffic_with_classes_prints_the_class_table():
+    code, out, _ = _run(_quick("--classes", CLASSES))
+    assert code == 0
+    assert "Scheduling classes" in out
+    assert "interactive" in out and "batch" in out
+    assert "met ratio" in out
+
+
+def test_traffic_rejects_malformed_classes():
+    code, _, err = _run(_quick("--classes", "[{]"))
+    assert code == 2
+    assert "invalid --classes" in err
+    code, _, err = _run(_quick("--classes", '[{"share": 1.0}]'))
+    assert code == 2
+    assert "missing 'name'" in err
+
+
+def test_compare_policies_prints_one_row_per_policy(tmp_path):
+    export = str(tmp_path / "policies.csv")
+    code, out, _ = _run(
+        _quick(
+            "--compare-policies", "target,step,predictive",
+            "--classes", CLASSES,
+            "--export", export,
+        )
+    )
+    assert code == 0
+    assert "Scaling-policy comparison" in out
+    for policy in ("target", "step", "predictive"):
+        assert policy in out
+    with open(export, "r", encoding="utf-8") as handle:
+        restored = traffic_from_figure(figure_from_csv(handle.read()))
+    assert set(restored) == {"target", "step", "predictive"}
+    offered = {summary.offered for summary in restored.values()}
+    assert len(offered) == 1  # same seeded arrivals under every policy
+    for summary in restored.values():
+        assert {cls.name for cls in summary.classes} == {"interactive", "batch"}
+
+
+def test_compare_policies_rejects_unknown_names():
+    code, _, err = _run(_quick("--compare-policies", "target,quantum"))
+    assert code == 2
+    assert "quantum" in err
+
+
+def test_scaling_policy_flag_selects_step_and_predictive():
+    for policy in ("step", "predictive"):
+        code, out, _ = _run(_quick("--scaling-policy", policy))
+        assert code == 0, policy
+        assert "Traffic summary" in out
+
+
+def test_tenants_config_accepts_per_tenant_classes():
+    tenants = json.dumps(
+        [
+            {"name": "gold", "rps": 10, "duration": 3, "payload_mb": 1,
+             "classes": [{"name": "rt", "priority": 0, "deadline": 0.8}]},
+            {"name": "free", "rps": 5, "duration": 3, "payload_mb": 1},
+        ]
+    )
+    code, out, _ = _run(
+        ["traffic", "--tenants", tenants, "--modes", "roadrunner-user",
+         "--classes", CLASSES]
+    )
+    assert code == 0
+    # gold overrides the default mix; free inherits --classes.
+    assert "rt" in out
+    assert "interactive" in out
+
+
+def test_per_tenant_classes_alone_enable_edf_and_may_be_a_file_path(tmp_path):
+    # No global --classes: a tenant's own mix must still flip the intra
+    # order to EDF (the documented default when classes are given), and
+    # the tenant's "classes" value may be a file path in the --classes
+    # format rather than an inline array.
+    path = tmp_path / "classes.json"
+    path.write_text('[{"name": "rt", "priority": 0, "deadline": 0.8}]', encoding="utf-8")
+    tenants = json.dumps(
+        [{"name": "gold", "rps": 10, "duration": 3, "payload_mb": 1,
+          "classes": str(path)}]
+    )
+    code, out, _ = _run(["traffic", "--tenants", tenants, "--modes", "roadrunner-user"])
+    assert code == 0
+    assert "rt" in out
+
+    import repro.cli as cli
+    from repro.platform.gateway import IntraTenantOrder
+
+    captured = {}
+    original = cli.MultiTenantTrafficEngine
+
+    class Spy(original):
+        def __init__(self, *args, **kwargs):
+            captured["intra"] = kwargs.get("intra")
+            super().__init__(*args, **kwargs)
+
+    cli.MultiTenantTrafficEngine = Spy
+    try:
+        code, _, _ = _run(["traffic", "--tenants", tenants, "--modes", "roadrunner-user"])
+    finally:
+        cli.MultiTenantTrafficEngine = original
+    assert code == 0
+    assert captured["intra"] is IntraTenantOrder.EDF

@@ -51,7 +51,9 @@ def _strip_timeline(summary):
 def test_multi_tenant_figure_includes_every_tenant_and_the_rollup(multi_tenant_result):
     figure = multi_tenant_to_figure(multi_tenant_result)
     assert figure.x_values == ["busy", "idle", "cluster"]
-    assert set(figure.panels) == {"latency", "queueing", "service", "volume", "scaling", "meta"}
+    assert set(figure.panels) == {
+        "latency", "queueing", "service", "volume", "scaling", "meta", "classes",
+    }
     assert "fairness=wfq" in figure.notes
     assert figure.panels["meta"]["mode"] == ["roadrunner-user", "runc-http", "cluster"]
     # Fairness and weights travel as meta series, so they survive CSV too
