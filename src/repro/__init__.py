@@ -32,7 +32,7 @@ Quickstart::
 
 from repro.payload import Payload, PayloadError
 from repro.sim.costs import CostModel, DEFAULT_COST_MODEL
-from repro.sim.ledger import CostCategory, CostLedger, CpuDomain
+from repro.sim.ledger import ClusterLedger, CostCategory, CostLedger, CpuDomain, NodeLedger
 from repro.wasm.runtime import RuntimeKind
 from repro.platform.cluster import Cluster
 from repro.platform.function import FunctionSpec
@@ -55,7 +55,9 @@ __all__ = [
     "CostModel",
     "DEFAULT_COST_MODEL",
     "CostCategory",
+    "ClusterLedger",
     "CostLedger",
+    "NodeLedger",
     "CpuDomain",
     "RuntimeKind",
     "Cluster",

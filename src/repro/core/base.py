@@ -53,7 +53,8 @@ class RoadrunnerChannelBase(DataPassingChannel):
         preparation = cost_model.region_metadata_overhead + cost_model.transfer_time(
             payload.size, cost_model.pointer_registration_bandwidth
         )
-        self.ledger.charge(
+        # Guest-side work happens on the source's host: charge its shard.
+        self.node_ledger(source).charge(
             CostCategory.SERIALIZATION,
             preparation,
             cpu_domain=CpuDomain.USER,

@@ -91,7 +91,7 @@ class KernelSpaceChannel(RoadrunnerChannelBase):
 
         # Per-request async bookkeeping on both shims (tokio-style executors).
         async_cost = self.cluster.cost_model.async_task_overhead
-        self.ledger.charge(
+        self.node_ledger(source).charge(
             CostCategory.IPC,
             async_cost,
             cpu_domain=CpuDomain.USER,

@@ -118,7 +118,7 @@ class NetworkChannel(RoadrunnerChannelBase):
 
         # Async bookkeeping for the two shims' executors.
         async_cost = self.cluster.cost_model.async_task_overhead
-        self.ledger.charge(
+        self.node_ledger(source).charge(
             CostCategory.NETWORK,
             async_cost,
             cpu_domain=CpuDomain.USER,

@@ -63,8 +63,8 @@ class UserSpaceChannel(RoadrunnerChannelBase):
         target_shim.write_input(data)
 
         # The transfer stays within one process: charge the (tiny) metadata
-        # cost of updating the shim's region table.
-        self.ledger.charge(
+        # cost of updating the shim's region table on the owning node.
+        self.node_ledger(source).charge(
             CostCategory.TRANSFER,
             source.vm.cost_model.region_metadata_overhead,
             cpu_domain=CpuDomain.USER,

@@ -38,6 +38,8 @@ class AggregateMetrics:
     mean_peak_memory_mb: float
     mean_copied_bytes: float
     mean_syscalls: float
+    #: Mean charged seconds per ledger shard (per-node attribution).
+    mean_node_seconds: Dict[str, float] = field(default_factory=dict)
 
     @property
     def mean_throughput_rps(self) -> float:
@@ -114,6 +116,11 @@ def aggregate_samples(samples: Sequence[TransferMetrics]) -> AggregateMetrics:
             "samples mix modes (%s) or sizes (%s); aggregate them separately" % (modes, sizes)
         )
     latencies = [s.total_latency_s for s in samples]
+    nodes = sorted({node for s in samples for node in s.node_seconds})
+    node_means = {
+        node: statistics.fmean(s.node_seconds.get(node, 0.0) for s in samples)
+        for node in nodes
+    }
     return AggregateMetrics(
         mode=samples[0].mode,
         payload_bytes=samples[0].payload_bytes,
@@ -130,4 +137,5 @@ def aggregate_samples(samples: Sequence[TransferMetrics]) -> AggregateMetrics:
         mean_peak_memory_mb=statistics.fmean(s.peak_memory_mb for s in samples),
         mean_copied_bytes=statistics.fmean(s.copied_bytes for s in samples),
         mean_syscalls=statistics.fmean(s.syscalls for s in samples),
+        mean_node_seconds=node_means,
     )

@@ -28,7 +28,7 @@ _TRAFFIC_LATENCY_PANELS = ("latency", "queueing", "service")
 #: The distribution statistics each of those panels carries as series.
 _TRAFFIC_LATENCY_SERIES = ("count", "mean_s", "p50_s", "p95_s", "p99_s", "max_s")
 #: Counter panels: series -> TrafficSummary attribute.
-_TRAFFIC_VOLUME_SERIES = ("offered", "completed", "timed_out", "dropped")
+_TRAFFIC_VOLUME_SERIES = ("offered", "completed", "timed_out", "dropped", "shed")
 _TRAFFIC_SCALING_SERIES = (
     "cold_starts",
     "cold_start_seconds",
@@ -37,11 +37,15 @@ _TRAFFIC_SCALING_SERIES = (
     "duration_s",
 )
 _TRAFFIC_INT_FIELDS = frozenset(
-    {"offered", "completed", "timed_out", "dropped", "cold_starts", "max_replicas", "count"}
+    {
+        "offered", "completed", "timed_out", "dropped", "shed",
+        "cold_starts", "max_replicas", "count",
+    }
 )
 #: Per-scheduling-class series: ClassSummary counters, then its latency stats.
 _TRAFFIC_CLASS_COUNTERS = (
-    "offered", "completed", "timed_out", "dropped", "deadline_total", "deadline_met",
+    "offered", "completed", "timed_out", "dropped", "shed",
+    "deadline_total", "deadline_met",
 )
 
 
@@ -237,6 +241,61 @@ def multi_tenant_to_figure(summary, figure: str = "traffic", **kwargs):
     return result
 
 
+#: Series of the per-node usage panel (NodeUsage attributes).
+_NODE_USAGE_SERIES = ("charges", "total_seconds", "cpu_seconds", "peak_memory_mb")
+
+
+def node_usage_to_figure(
+    summary,
+    figure: str = "traffic-nodes",
+    title: str = "Per-node ledger usage",
+    notes: str = "",
+):
+    """Flatten a run's per-node cost rollups into an exportable figure.
+
+    ``summary`` is a :class:`~repro.traffic.tenants.MultiTenantSummary`
+    (its ``nodes`` mapping comes from the sharded cluster ledger) or a
+    plain ``{node: NodeUsage}`` mapping.  The x axis is the node name —
+    the ``cluster`` row holds node-less gateway work — so the long-form
+    CSV reads ``traffic-nodes,usage,total_seconds,traffic-0,1.234``.
+    """
+    from repro.experiments.results import FigureResult
+
+    nodes = summary if isinstance(summary, Mapping) else summary.nodes
+    if not nodes:
+        raise ExportError("no per-node usage to export")
+    result = FigureResult(
+        figure=figure,
+        title=title,
+        x_label="node",
+        x_values=list(nodes),
+        notes=notes,
+    )
+    for usage in nodes.values():
+        for series in _NODE_USAGE_SERIES:
+            result.add_point("usage", series, getattr(usage, series))
+    return result
+
+
+def node_usage_from_figure(figure) -> Dict[str, Any]:
+    """Invert :func:`node_usage_to_figure`: node -> NodeUsage."""
+    from repro.traffic.tenants import NodeUsage
+
+    usage: Dict[str, Any] = {}
+    for index, node in enumerate(figure.x_values):
+        values: Dict[str, Any] = {}
+        for series in _NODE_USAGE_SERIES:
+            try:
+                raw = figure.panels["usage"][series][index]
+            except (KeyError, IndexError) as exc:
+                raise ExportError(
+                    "figure is missing node-usage field usage/%s: %s" % (series, exc)
+                )
+            values[series] = int(float(raw)) if series == "charges" else float(raw)
+        usage[str(node)] = NodeUsage(node=str(node), **values)
+    return usage
+
+
 def policies_to_figure(
     results: Mapping[str, Any],
     figure: str = "traffic-policies",
@@ -279,6 +338,20 @@ def traffic_from_figure(figure) -> Dict[str, Any]:
         except (KeyError, IndexError) as exc:
             raise ExportError("figure is missing traffic field %s/%s: %s" % (panel, series, exc))
 
+    def pick_count(panel: str, series: str, index: int) -> int:
+        """The ``shed`` counter, defaulting to 0 when absent.
+
+        Only counters added *after* figures started being written get this
+        leniency (figures from before hard-deadline admission control have
+        no ``shed`` series); a missing pre-existing counter still raises,
+        so corrupt figures keep failing loudly.
+        """
+        try:
+            raw = pick_raw(panel, series, index)
+        except ExportError:
+            return 0
+        return int(float(raw))
+
     def pick_classes(index: int) -> tuple:
         """Rebuild the label's ClassSummary tuple from the classes panel.
 
@@ -296,7 +369,11 @@ def traffic_from_figure(figure) -> Dict[str, Any]:
         restored = []
         for name in names:
             counters = {
-                series: int(float(pick_raw("classes", "%s/%s" % (name, series), index)))
+                series: (
+                    pick_count("classes", "%s/%s" % (name, series), index)
+                    if series == "shed"
+                    else int(float(pick_raw("classes", "%s/%s" % (name, series), index)))
+                )
                 for series in _TRAFFIC_CLASS_COUNTERS
             }
             latency = LatencySummary(
@@ -326,6 +403,7 @@ def traffic_from_figure(figure) -> Dict[str, Any]:
             completed=pick("volume", "completed", index),
             timed_out=pick("volume", "timed_out", index),
             dropped=pick("volume", "dropped", index),
+            shed=pick_count("volume", "shed", index),
             latency=distributions["latency"],
             queueing=distributions["queueing"],
             service=distributions["service"],

@@ -39,6 +39,9 @@ class TransferMetrics:
     context_switches: int
     peak_memory_mb: float
     breakdown: Dict[str, float] = field(default_factory=dict)
+    #: Charged seconds per ledger shard ("" for a standalone ledger) — the
+    #: per-node attribution of this transfer's cost.
+    node_seconds: Dict[str, float] = field(default_factory=dict)
 
     @property
     def cpu_total_s(self) -> float:
@@ -103,6 +106,7 @@ class TransferMetrics:
             context_switches=self.context_switches,
             peak_memory_mb=self.peak_memory_mb,
             breakdown=dict(self.breakdown),
+            node_seconds=dict(self.node_seconds),
         )
 
 
@@ -121,18 +125,24 @@ _TRANSFER_CATEGORIES = (
 
 
 class LedgerWindow:
-    """Context manager measuring the ledger activity inside a ``with`` block."""
+    """Context manager measuring the ledger activity inside a ``with`` block.
+
+    Works over a plain :class:`CostLedger` and over the sharded
+    :class:`~repro.sim.ledger.ClusterLedger` alike: the window brackets the
+    interval with a :meth:`~repro.sim.ledger.CostLedger.snapshot`, so charges
+    are captured whichever node shard they landed on.
+    """
 
     def __init__(self, ledger: CostLedger, mode: str, payload_bytes: int) -> None:
         self.ledger = ledger
         self.mode = mode
         self.payload_bytes = payload_bytes
-        self._start_index = 0
+        self._start: Optional[object] = None
         self._start_time = 0.0
         self._metrics: Optional[TransferMetrics] = None
 
     def __enter__(self) -> "LedgerWindow":
-        self._start_index = len(self.ledger)
+        self._start = self.ledger.snapshot()
         self._start_time = self.ledger.clock.now
         return self
 
@@ -148,7 +158,7 @@ class LedgerWindow:
         return self._metrics
 
     def _build(self) -> TransferMetrics:
-        charges = self.ledger.charges[self._start_index :]
+        charges = self.ledger.charges_since(self._start)
         total = self.ledger.clock.now - self._start_time
         serialization = sum(c.seconds for c in charges if c.category in SERIALIZATION_CATEGORIES)
         wasm_io = sum(c.seconds for c in charges if c.category is CostCategory.WASM_IO)
@@ -160,8 +170,10 @@ class LedgerWindow:
         syscalls = sum(c.units for c in charges if c.category is CostCategory.SYSCALL)
         switches = sum(1 for c in charges if c.category is CostCategory.CONTEXT_SWITCH)
         breakdown: Dict[str, float] = {}
+        node_seconds: Dict[str, float] = {}
         for c in charges:
             breakdown[c.category.value] = breakdown.get(c.category.value, 0.0) + c.seconds
+            node_seconds[c.node] = node_seconds.get(c.node, 0.0) + c.seconds
         return TransferMetrics(
             mode=self.mode,
             payload_bytes=self.payload_bytes,
@@ -177,4 +189,5 @@ class LedgerWindow:
             context_switches=switches,
             peak_memory_mb=self.ledger.peak_memory_mb(),
             breakdown=breakdown,
+            node_seconds=node_seconds,
         )

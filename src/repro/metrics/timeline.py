@@ -41,6 +41,7 @@ def charges_to_spans(
                 "bytes": charge.nbytes,
                 "copied": charge.copied,
                 "units": charge.units,
+                "node": charge.node,
             }
         )
     return spans
@@ -52,28 +53,48 @@ def ledger_to_spans(ledger: CostLedger, minimum_seconds: float = 0.0) -> List[Di
 
 
 def spans_to_chrome_trace(spans: Sequence[Dict[str, object]], process_name: str = "repro") -> str:
-    """Serialise spans as Chrome trace-event JSON (complete events, "X" phase)."""
-    events: List[Dict[str, object]] = [
-        {
-            "name": "process_name",
-            "ph": "M",
-            "pid": 1,
-            "args": {"name": process_name},
-        }
-    ]
+    """Serialise spans as Chrome trace-event JSON (complete events, "X" phase).
+
+    Spans from a sharded cluster ledger carry a ``node``; each node (the
+    ``cluster`` shard included) becomes its own trace process (pid) in
+    first-seen order, so Perfetto renders one swimlane per shard.  Spans
+    from a standalone ledger have no node and ride a single lane named
+    ``process_name``.
+    """
+    pids: Dict[str, int] = {}
+    events: List[Dict[str, object]] = []
+
+    def pid_for(node: str) -> int:
+        if node not in pids:
+            pids[node] = len(pids) + 1
+            events.append(
+                {
+                    "name": "process_name",
+                    "ph": "M",
+                    "pid": pids[node],
+                    "args": {
+                        "name": "%s/%s" % (process_name, node) if node else process_name
+                    },
+                }
+            )
+        return pids[node]
+
+    if not spans:
+        pid_for("")  # an empty trace still names its process
     for span in spans:
         events.append(
             {
                 "name": span.get("label") or span["category"],
                 "cat": span["category"],
                 "ph": "X",
-                "pid": 1,
+                "pid": pid_for(str(span.get("node", "") or "")),
                 "tid": 1 if span.get("cpu_domain") == "user" else 2,
                 "ts": float(span["start_s"]) * 1e6,   # microseconds
                 "dur": max(float(span["duration_s"]) * 1e6, 0.01),
                 "args": {
                     "bytes": span.get("bytes", 0),
                     "copied": span.get("copied", False),
+                    "node": span.get("node", ""),
                 },
             }
         )

@@ -35,7 +35,13 @@ class TransferOutcome:
 
 
 class DataPassingChannel(ABC):
-    """Moves payloads between deployed functions, charging a shared ledger."""
+    """Moves payloads between deployed functions, charging the cluster ledgers.
+
+    ``ledger`` is the cluster-scoped handle (the merged
+    :class:`~repro.sim.ledger.ClusterLedger` view when the channel belongs
+    to a cluster); node-local work should charge the owning node's shard via
+    :meth:`node_ledger`, so per-node cost attribution survives the transfer.
+    """
 
     #: Short mode label used in reports ("roadrunner-user", "runc-http", ...).
     mode: str = "abstract"
@@ -43,6 +49,17 @@ class DataPassingChannel(ABC):
     def __init__(self, ledger: CostLedger) -> None:
         self.ledger = ledger
         self.transfers = 0
+
+    def node_ledger(self, deployed: DeployedFunction) -> CostLedger:
+        """The ledger shard of the node hosting ``deployed``.
+
+        Channels that are not cluster-aware (no ``cluster`` attribute) fall
+        back to their own ledger, keeping standalone/unit usage working.
+        """
+        cluster = getattr(self, "cluster", None)
+        if cluster is None:
+            return self.ledger
+        return cluster.node(deployed.node_name).ledger
 
     @abstractmethod
     def _move(

@@ -1,9 +1,16 @@
-"""The cluster: nodes plus the links between them, sharing one ledger.
+"""The cluster: nodes plus the links between them, over sharded ledgers.
 
 Experiments create a cluster in one of two shapes: a single node (intra-node
-experiments) or the paper's edge-cloud pair (inter-node experiments).  All
-nodes charge the same ledger so one simulated timeline covers the whole
-transfer, while CPU and memory remain attributed per sandbox via cgroups.
+experiments) or the paper's edge-cloud pair (inter-node experiments).  Cost
+accounting is sharded: every node charges its own
+:class:`~repro.sim.ledger.NodeLedger` (named ``ledger:<node>``, unique per
+cluster), and :attr:`Cluster.ledger` is the
+:class:`~repro.sim.ledger.ClusterLedger` merging the shards into one
+deterministic timeline — the same read surface the old shared ledger
+offered, which is why every pre-shard caller keeps working.  All shards
+share one simulated clock in serial runs, so a transfer spanning two nodes
+still advances a single timeline, while CPU and memory remain attributed
+per sandbox via cgroups and per node via the shards.
 """
 
 from __future__ import annotations
@@ -14,7 +21,7 @@ from repro.net.link import NetworkLink
 from repro.net.topology import Topology
 from repro.platform.node import ClusterNode
 from repro.sim.costs import CostModel, DEFAULT_COST_MODEL
-from repro.sim.ledger import CostLedger
+from repro.sim.ledger import ClusterLedger, CostLedger
 
 
 class ClusterError(RuntimeError):
@@ -30,7 +37,18 @@ class Cluster:
         ledger: Optional[CostLedger] = None,
     ) -> None:
         self.cost_model = cost_model
-        self.ledger = ledger if ledger is not None else CostLedger(name="cluster")
+        if isinstance(ledger, ClusterLedger):
+            self.ledger = ledger
+        elif ledger is not None:
+            # A caller-supplied plain ledger becomes the cluster shard: its
+            # clock drives the whole cluster and charges recorded on the
+            # caller's handle stay part of the merged view.  The reverse
+            # does NOT hold — node-scoped work lands on per-node shards, so
+            # totals must be read through ``cluster.ledger`` (the merged
+            # view), not through the handle that was passed in.
+            self.ledger = ClusterLedger(backing=ledger, name=ledger.name or "cluster")
+        else:
+            self.ledger = ClusterLedger(name="cluster")
         self.topology = Topology(cost_model)
         self._nodes: Dict[str, ClusterNode] = {}
 
@@ -38,9 +56,18 @@ class Cluster:
         if name in self._nodes:
             raise ClusterError("node %r already exists" % name)
         self.topology.add_node(name)
-        node = ClusterNode(name=name, ledger=self.ledger, cost_model=self.cost_model, cores=cores)
+        node = ClusterNode(
+            name=name,
+            ledger=self.ledger.shard(name),
+            cost_model=self.cost_model,
+            cores=cores,
+        )
         self._nodes[name] = node
         return node
+
+    def node_ledger(self, name: str):
+        """The per-node cost shard for ``name`` (the node's charging handle)."""
+        return self.ledger.node_shard(name)
 
     def connect(
         self,

@@ -74,7 +74,7 @@ class IntraTenantOrder(enum.Enum):
 
 @dataclass
 class TenantQueueStats:
-    """Per-tenant admission accounting (drops and timeouts happen here)."""
+    """Per-tenant admission accounting (drops, timeouts and sheds happen here)."""
 
     tenant: str
     weight: int
@@ -82,6 +82,9 @@ class TenantQueueStats:
     dispatched: int = 0
     dropped: int = 0
     timed_out: int = 0
+    #: Hard-deadline admission control: requests removed at dispatch time
+    #: because their deadline could no longer be met.
+    shed: int = 0
 
 
 @dataclass(frozen=True, order=True)
@@ -325,6 +328,38 @@ class FairQueue:
         starved.sort(key=lambda queue: (-queue.skipped, queue.finish_tag, queue.index))
         rest.sort(key=lambda queue: (queue.finish_tag, queue.index))
         return [queue.name for queue in starved + rest]
+
+    def peek(self, tenant: str) -> object:
+        """The item :meth:`pop` would dispatch next, without committing.
+
+        Admission control looks here first: a hard-deadline request whose
+        deadline can no longer be met is removed via :meth:`shed_head`
+        instead of being popped, so shedding never advances fair-queueing
+        tags or counts as a dispatch.
+        """
+        queue = self._require(tenant)
+        entry = self._head(queue)
+        if entry is None:
+            raise GatewayError("tenant %r has no queued requests" % tenant)
+        return entry.item
+
+    def shed_head(self, tenant: str) -> object:
+        """Remove the head item as shed (hard-deadline admission control).
+
+        Unlike :meth:`pop`, shedding advances no virtual-time tag and resets
+        no skip counter: the tenant consumed no service, so its place in the
+        fair order is untouched.  Unlike :meth:`cancel`, the removal counts
+        as ``shed`` — the operator-visible signal that admission control,
+        not client impatience, refused the request.
+        """
+        queue = self._require(tenant)
+        entry = self._head(queue)
+        if entry is None:
+            raise GatewayError("tenant %r has no queued requests" % tenant)
+        heapq.heappop(queue.items)
+        queue.live.discard(entry.item_id)
+        queue.stats.shed += 1
+        return entry.item
 
     def pop(self, tenant: str) -> object:
         """Commit one dispatch from ``tenant`` and return the item."""

@@ -142,9 +142,14 @@ def _combine(
     if not outcomes:
         raise InvokerError("cannot combine zero outcomes")
     breakdown: Dict[str, float] = {}
+    node_seconds: Dict[str, float] = {}
     for outcome in outcomes:
         for key, value in outcome.metrics.breakdown.items():
             breakdown[key] = breakdown.get(key, 0.0) + value
+        # Per-node attribution survives aggregation: each edge already knows
+        # which ledger shards its charges landed on.
+        for node, value in outcome.metrics.node_seconds.items():
+            node_seconds[node] = node_seconds.get(node, 0.0) + value
     metrics = [o.metrics for o in outcomes]
     return TransferMetrics(
         mode=mode,
@@ -161,4 +166,5 @@ def _combine(
         context_switches=sum(m.context_switches for m in metrics),
         peak_memory_mb=max(m.peak_memory_mb for m in metrics),
         breakdown=breakdown,
+        node_seconds=node_seconds,
     )

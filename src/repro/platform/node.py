@@ -4,6 +4,13 @@ A node owns the per-host substrates and knows how to deploy a
 :class:`~repro.platform.function.FunctionSpec` as either a RunC container or
 a Wasm VM (optionally sharing an existing VM, which is how Roadrunner's
 user-space mode colocates functions of the same workflow).
+
+Accounting is node-scoped: the ledger handed to a node is its *own* shard
+(a :class:`~repro.sim.ledger.NodeLedger` when created through
+:meth:`~repro.platform.cluster.Cluster.add_node`), so everything the node's
+kernel, container runtime, Wasm runtime and serializers charge lands on
+that node — independent nodes never contend on one append path, and the
+cluster ledger merges the shards for reporting.
 """
 
 from __future__ import annotations

@@ -1,26 +1,40 @@
-"""A small discrete-event loop plus a parallel-track makespan helper.
+"""Discrete-event loops plus a parallel-track makespan helper.
 
-Most of the reproduction is sequential accounting on a shared ledger, but two
-places need genuine concurrency semantics:
+Most of the reproduction is sequential accounting on a shared ledger, but
+several places need genuine concurrency semantics:
 
 * the fan-out experiments (Figs. 9 and 10), where one source function feeds
   N targets and the runtimes differ in how much of that work can overlap;
 * the network link, where transmissions from different connections share
-  bandwidth.
+  bandwidth;
+* multi-node simulation, where per-node work charges per-node ledger shards
+  and whole nodes can execute concurrently on the host.
 
-:class:`EventLoop` is a classic time-ordered event queue.  For fan-out we use
-the simpler :class:`ParallelTracks` helper, which computes the makespan of N
-per-branch duration profiles under a bounded concurrency model — this mirrors
-how a 4-core node executes N sandboxes, or how a single-threaded Wasm VM
-serialises all branches.
+:class:`EventLoop` is a classic time-ordered event queue.
+:class:`PartitionedEventLoop` extends it with node partitions: events tagged
+with a partition run their node-local stage concurrently (thread phases)
+while cross-node boundaries — gateway dispatch, network transfers, anything
+scheduled on the global partition — stay serialized in exact time order, so
+a parallel run is event-for-event identical to a serial one.  For fan-out we
+use the simpler :class:`ParallelTracks` helper, which computes the makespan
+of N per-branch duration profiles under a bounded concurrency model — this
+mirrors how a 4-core node executes N sandboxes, or how a single-threaded
+Wasm VM serialises all branches.
 """
 
 from __future__ import annotations
 
 import heapq
 import itertools
+import os
+import pickle
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Iterable, List, Optional, Sequence, Tuple
+
+#: Partition label of events that must run serialized (cross-node work).
+GLOBAL_PARTITION = ""
 
 
 class EngineError(RuntimeError):
@@ -29,12 +43,21 @@ class EngineError(RuntimeError):
 
 @dataclass(order=True)
 class Event:
-    """An event scheduled at an absolute simulated time."""
+    """An event scheduled at an absolute simulated time.
+
+    ``action`` may return a callable: a *join* executed at the same event
+    slot.  In a serial run the join fires immediately after the action; in a
+    partitioned run the node-local action may have run early (concurrently)
+    while the join is still executed at the event's exact place in the
+    global time order — that split is what lets whole nodes simulate in
+    parallel without reordering any cross-node effect.
+    """
 
     time: float
     order: int
-    action: Callable[[], None] = field(compare=False)
+    action: Callable[[], Any] = field(compare=False)
     label: str = field(default="", compare=False)
+    partition: str = field(default=GLOBAL_PARTITION, compare=False)
 
 
 class EventLoop:
@@ -58,23 +81,53 @@ class EventLoop:
     def executed_events(self) -> int:
         return self._executed
 
-    def schedule(self, delay: float, action: Callable[[], None], label: str = "") -> Event:
+    def schedule(
+        self,
+        delay: float,
+        action: Callable[[], Any],
+        label: str = "",
+        partition: str = GLOBAL_PARTITION,
+    ) -> Event:
         """Schedule ``action`` to run ``delay`` seconds from the current time."""
         if delay < 0:
             raise EngineError("cannot schedule an event in the past (delay=%r)" % delay)
-        event = Event(time=self._now + delay, order=next(self._counter), action=action, label=label)
+        event = Event(
+            time=self._now + delay,
+            order=next(self._counter),
+            action=action,
+            label=label,
+            partition=partition,
+        )
         heapq.heappush(self._queue, event)
         return event
 
-    def schedule_at(self, time: float, action: Callable[[], None], label: str = "") -> Event:
+    def schedule_at(
+        self,
+        time: float,
+        action: Callable[[], Any],
+        label: str = "",
+        partition: str = GLOBAL_PARTITION,
+    ) -> Event:
         """Schedule ``action`` at absolute time ``time``."""
         if time < self._now:
             raise EngineError(
                 "cannot schedule an event at t=%r before now=%r" % (time, self._now)
             )
-        event = Event(time=time, order=next(self._counter), action=action, label=label)
+        event = Event(
+            time=time,
+            order=next(self._counter),
+            action=action,
+            label=label,
+            partition=partition,
+        )
         heapq.heappush(self._queue, event)
         return event
+
+    def _execute(self, event: Event) -> None:
+        """Run one event in place: its action, then any join it returned."""
+        result = event.action()
+        if callable(result):
+            result()
 
     def run(self, until: Optional[float] = None) -> float:
         """Run events until the queue drains or ``until`` is reached.
@@ -87,7 +140,7 @@ class EventLoop:
                 return self._now
             event = heapq.heappop(self._queue)
             self._now = event.time
-            event.action()
+            self._execute(event)
             self._executed += 1
         if until is not None and until > self._now:
             self._now = until
@@ -99,12 +152,138 @@ class EventLoop:
             return None
         event = heapq.heappop(self._queue)
         self._now = event.time
-        event.action()
+        self._execute(event)
         self._executed += 1
         return event
 
     def pending(self) -> int:
         return len(self._queue)
+
+
+class PartitionedEventLoop(EventLoop):
+    """An event loop whose node-partitioned events can execute concurrently.
+
+    Events scheduled with a non-empty ``partition`` (a node name) promise
+    that their *action* touches only state owned by that partition — per-node
+    ledger shards, per-replica bookkeeping — plus values captured at schedule
+    time.  Cross-node effects go into the *join* the action returns, or into
+    events on the global partition.
+
+    ``run_parallel`` pops maximal runs of consecutive events that sit on
+    distinct node partitions, executes their node-local actions concurrently
+    in a thread phase, then re-enqueues each event's join at its original
+    ``(time, order)`` slot.  Joins and global events therefore interleave in
+    exactly the serial order — a parallel run is deterministic and produces
+    results identical to :meth:`run` — while node-local work (and its ledger
+    charges, which land on per-node shards) overlaps across host threads.
+    A global event is the synchronization boundary: batch collection stops
+    there, mirroring how gateway dispatch and network transfers serialize
+    cross-node state.
+    """
+
+    def __init__(self, max_workers: Optional[int] = None) -> None:
+        super().__init__()
+        self.max_workers = max_workers
+        self.parallel_batches = 0
+
+    def _collect_batch(self, until: Optional[float]) -> List[Event]:
+        """Pop a maximal run of same-phase events on distinct partitions."""
+        batch: List[Event] = []
+        seen = set()
+        while self._queue:
+            head = self._queue[0]
+            if until is not None and head.time > until:
+                break
+            if head.partition == GLOBAL_PARTITION or head.partition in seen:
+                break
+            batch.append(heapq.heappop(self._queue))
+            seen.add(head.partition)
+        return batch
+
+    def run_parallel(self, until: Optional[float] = None) -> float:
+        """Like :meth:`run`, with node partitions executing in thread phases."""
+        workers = self.max_workers or min(32, os.cpu_count() or 1)
+        pool: Optional[ThreadPoolExecutor] = None
+        try:
+            while self._queue:
+                if until is not None and self._queue[0].time > until:
+                    self._now = until
+                    return self._now
+                batch = self._collect_batch(until)
+                if not batch:
+                    event = heapq.heappop(self._queue)
+                    self._now = event.time
+                    self._execute(event)
+                    self._executed += 1
+                    continue
+                if len(batch) == 1:
+                    event = batch[0]
+                    self._now = event.time
+                    self._execute(event)
+                    self._executed += 1
+                    continue
+                if pool is None:
+                    pool = ThreadPoolExecutor(max_workers=workers)
+                self.parallel_batches += 1
+                joins = list(pool.map(lambda event: event.action(), batch))
+                # Re-enqueue each event's join at its original slot so joins
+                # interleave with later (and newly scheduled) global events
+                # in exactly the serial order.
+                for event, join in zip(batch, joins):
+                    heapq.heappush(
+                        self._queue,
+                        Event(
+                            time=event.time,
+                            order=event.order,
+                            action=join if callable(join) else _noop,
+                            label=event.label,
+                            partition=GLOBAL_PARTITION,
+                        ),
+                    )
+        finally:
+            if pool is not None:
+                pool.shutdown(wait=True)
+        if until is not None and until > self._now:
+            self._now = until
+        return self._now
+
+
+def _noop() -> None:
+    return None
+
+
+def parallel_map(
+    fn: Callable[..., Any],
+    items: Sequence[Tuple],
+    max_workers: Optional[int] = None,
+) -> List[Any]:
+    """Run ``fn(*item)`` for every item, concurrently, results in input order.
+
+    The process-pool path is for *independent simulations* — each call must
+    be self-contained (its own cluster, ledger shards and clock) and both
+    the arguments and the result must pickle.  Falls back to a serial map
+    when there is nothing to parallelize or worker processes cannot be
+    spawned, so callers never need a fallback of their own; either way the
+    result list is deterministic and ordered like ``items``.
+    """
+    if len(items) <= 1 or max_workers == 1 or (os.cpu_count() or 1) < 2:
+        return [fn(*item) for item in items]
+    try:
+        # The function and its arguments must cross the process boundary; a
+        # lambda or closure-based factory degrades to the serial path rather
+        # than failing the run.
+        pickle.dumps((fn, tuple(items)))
+    except Exception:
+        return [fn(*item) for item in items]
+    workers = max_workers or min(len(items), os.cpu_count() or 1)
+    try:
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            return list(pool.map(fn, *zip(*items)))
+    except (OSError, BrokenProcessPool):
+        # Pool bootstrap/teardown failures only (no fork, dead workers):
+        # exceptions raised by ``fn`` itself propagate to the caller instead
+        # of silently re-running every job serially.
+        return [fn(*item) for item in items]
 
 
 class ParallelTracks:

@@ -1,4 +1,4 @@
-"""Cost ledger: the single place where simulated time, CPU and memory accrue.
+"""Cost ledgers: the places where simulated time, CPU and memory accrue.
 
 Every substrate operation (a memcpy, a syscall, a serialization pass, a wire
 transfer) records a :class:`Charge`.  The experiment harness then derives the
@@ -10,13 +10,22 @@ paper's metrics from the ledger:
 * CPU usage (user/kernel) -> CPU-seconds per :class:`CpuDomain`,
 * RAM                     -> peak of the attached :class:`MemoryMeter`,
 * copies                  -> bytes copied vs bytes moved by reference.
+
+Accounting is *sharded per node*: each cluster node charges its own
+:class:`NodeLedger`, and a :class:`ClusterLedger` aggregates the shards into
+one mergeable view.  Charges carry ``(timestamp, node, seq)``, so the merged
+timeline is a deterministic total order however the shards were filled —
+including by concurrent workers simulating whole nodes in parallel.  Code
+that only ever charges and queries one ledger (a kernel, a Wasm runtime, a
+unit test) keeps using the plain :class:`CostLedger` it always did.
 """
 
 from __future__ import annotations
 
 import enum
+import itertools
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Tuple
 
 from repro.sim.clock import SimClock
 
@@ -70,6 +79,11 @@ class Charge:
     timestamp: float = 0.0
     #: How many underlying operations this charge batches (e.g. syscalls).
     units: int = 1
+    #: Node whose shard recorded the charge ("" for a standalone ledger).
+    node: str = ""
+    #: Per-shard append sequence; with ``(timestamp, node)`` it totally
+    #: orders the merged cluster timeline.
+    seq: int = 0
 
     def __post_init__(self) -> None:
         if self.seconds < 0:
@@ -134,6 +148,9 @@ class CostLedger:
         private clock is created.
     """
 
+    #: Node label stamped onto charges ("" for a standalone ledger).
+    node_name: str = ""
+
     def __init__(self, clock: Optional[SimClock] = None, name: str = "") -> None:
         self.name = name
         self.clock = clock if clock is not None else SimClock()
@@ -175,6 +192,8 @@ class CostLedger:
             label=label,
             timestamp=self.clock.now,
             units=units,
+            node=self.node_name,
+            seq=len(self._charges),
         )
         self._charges.append(entry)
         if wall_time and seconds:
@@ -207,6 +226,15 @@ class CostLedger:
     @property
     def charges(self) -> Tuple[Charge, ...]:
         return tuple(self._charges)
+
+    def snapshot(self) -> "LedgerSnapshot":
+        """A position marker for :meth:`charges_since` (cheap, O(1))."""
+        return LedgerSnapshot(positions=((self.node_name, len(self._charges)),))
+
+    def charges_since(self, snapshot: "LedgerSnapshot") -> Tuple[Charge, ...]:
+        """Charges recorded after ``snapshot`` was taken, in order."""
+        start = dict(snapshot.positions).get(self.node_name, 0)
+        return tuple(self._charges[start:])
 
     def __iter__(self) -> Iterator[Charge]:
         return iter(self._charges)
@@ -298,4 +326,275 @@ class CostLedger:
             self.name,
             len(self._charges),
             self.total_seconds(),
+        )
+
+
+@dataclass(frozen=True)
+class LedgerSnapshot:
+    """Positions into each shard's charge stream at one instant.
+
+    Taken before a measured interval and handed back to
+    :meth:`CostLedger.charges_since` /
+    :meth:`ClusterLedger.charges_since`, it brackets exactly the charges
+    recorded inside the interval regardless of which shard they landed on —
+    the sharded replacement for slicing one global append log.
+    """
+
+    positions: Tuple[Tuple[str, int], ...]
+
+
+def _merge_key(charge: Charge) -> Tuple[float, str, int]:
+    """The deterministic total order of the merged cluster timeline."""
+    return (charge.timestamp, charge.node, charge.seq)
+
+
+class NodeLedger(CostLedger):
+    """One node's cost shard.
+
+    A :class:`NodeLedger` is a plain :class:`CostLedger` that knows which
+    node it accounts for: every charge is stamped with the node name and a
+    per-shard sequence number, so shards filled independently (even by
+    concurrent workers) merge into one deterministic cluster timeline.
+    Shard names are ``ledger:<node>`` and must be unique within a cluster.
+    """
+
+    def __init__(
+        self,
+        node_name: str,
+        clock: Optional[SimClock] = None,
+        name: Optional[str] = None,
+    ) -> None:
+        if not node_name:
+            raise LedgerError("a node ledger needs a non-empty node name")
+        super().__init__(clock=clock, name=name if name is not None else "ledger:%s" % node_name)
+        self.node_name = node_name
+
+
+class ClusterLedger:
+    """The mergeable cluster view over per-node ledger shards.
+
+    The cluster ledger *is not* an append log: every node charges its own
+    :class:`NodeLedger` (no contention on one append path), and this view
+    aggregates on demand.  ``charges`` presents the merged timeline in the
+    deterministic ``(timestamp, node, seq)`` order; totals, CPU splits,
+    byte counters and memory peaks sum across shards.  Cluster-scoped work
+    that belongs to no node (ingress routing, gateway bookkeeping) charges
+    the built-in ``cluster`` shard, which is also where the pre-shard
+    ``CostLedger`` API (``charge``/``meter``/``count_syscalls``) lands, so
+    existing callers keep working against ``Cluster.ledger`` unchanged.
+
+    Parameters
+    ----------
+    clock:
+        Simulated clock shared by every shard (serial simulation).  Shards
+        built elsewhere with forked clocks can be folded in via
+        :meth:`merge`, which re-synchronizes this clock to the furthest
+        shard.
+    backing:
+        Optional existing :class:`CostLedger` to adopt as the cluster
+        shard — how a cluster wraps a caller-supplied ledger so charges the
+        caller records on their handle stay visible in the merged view.
+    """
+
+    def __init__(
+        self,
+        clock: Optional[SimClock] = None,
+        name: str = "cluster",
+        backing: Optional[CostLedger] = None,
+    ) -> None:
+        self.name = name
+        if backing is not None:
+            self.clock = backing.clock
+            if not backing.node_name:
+                backing.node_name = "cluster"
+            self._cluster_shard = backing
+        else:
+            self.clock = clock if clock is not None else SimClock()
+            self._cluster_shard = CostLedger(clock=self.clock, name="%s:cluster" % name)
+            self._cluster_shard.node_name = "cluster"
+        self._shards: Dict[str, NodeLedger] = {}
+        self._merged_cache: Tuple[Charge, ...] = ()
+        self._merged_cache_len = 0
+
+    # -- shard management --------------------------------------------------------
+
+    def shard(self, node_name: str) -> NodeLedger:
+        """Create (and register) the shard for ``node_name``.
+
+        Shard names are unique: two nodes can never silently share one
+        accounting namespace.
+        """
+        self._check_unique(node_name)
+        shard = NodeLedger(node_name=node_name, clock=self.clock)
+        self._shards[node_name] = shard
+        return shard
+
+    def merge(self, *shards: NodeLedger) -> None:
+        """Fold externally-filled shards into the view (deterministic).
+
+        Used after a parallel section: workers fill detached shards (each
+        with a forked clock), and the merge adopts them, asserts shard-name
+        uniqueness and advances the shared clock to the furthest shard.
+        Merging is commutative — any adoption order yields the same view,
+        because ordering lives in the ``(timestamp, node, seq)`` keys.
+        """
+        for shard in shards:
+            self._check_unique(shard.node_name)
+        for shard in shards:
+            self._shards[shard.node_name] = shard
+            if shard.clock is not self.clock:
+                self.clock.sync_to(shard.clock)
+
+    def _check_unique(self, node_name: str) -> None:
+        if not node_name:
+            raise LedgerError("a cluster shard needs a non-empty node name")
+        if node_name == self._cluster_shard.node_name:
+            raise LedgerError("shard name %r is reserved for the cluster shard" % node_name)
+        if node_name in self._shards:
+            raise LedgerError(
+                "duplicate ledger shard %r: two nodes cannot share one "
+                "accounting namespace" % node_name
+            )
+
+    @property
+    def cluster_shard(self) -> CostLedger:
+        """The shard for cluster-scoped (node-less) charges."""
+        return self._cluster_shard
+
+    def shards(self) -> Dict[str, NodeLedger]:
+        """Per-node shards keyed by node name (the cluster shard excluded)."""
+        return dict(self._shards)
+
+    def node_shard(self, node_name: str) -> NodeLedger:
+        if node_name not in self._shards:
+            raise LedgerError("no ledger shard for node %r" % node_name)
+        return self._shards[node_name]
+
+    def _all_shards(self) -> List[CostLedger]:
+        return [self._cluster_shard] + list(self._shards.values())
+
+    # -- recording (cluster-scoped; the pre-shard CostLedger surface) -------------
+
+    def charge(self, *args, **kwargs) -> Charge:
+        return self._cluster_shard.charge(*args, **kwargs)
+
+    def count_syscalls(self, count: int) -> None:
+        self._cluster_shard.count_syscalls(count)
+
+    def meter(self, name: str, baseline_bytes: int = 0) -> MemoryMeter:
+        return self._cluster_shard.meter(name, baseline_bytes)
+
+    # -- merged queries ----------------------------------------------------------
+
+    @property
+    def charges(self) -> Tuple[Charge, ...]:
+        """The merged timeline, ordered by ``(timestamp, node, seq)``."""
+        total = len(self)
+        if total != self._merged_cache_len:
+            merged: List[Charge] = []
+            for shard in self._all_shards():
+                merged.extend(shard.charges)
+            merged.sort(key=_merge_key)
+            self._merged_cache = tuple(merged)
+            self._merged_cache_len = total
+        return self._merged_cache
+
+    def merged_charges(self) -> Tuple[Charge, ...]:
+        return self.charges
+
+    def __iter__(self) -> Iterator[Charge]:
+        return iter(self.charges)
+
+    def __len__(self) -> int:
+        return sum(len(shard) for shard in self._all_shards())
+
+    def snapshot(self) -> LedgerSnapshot:
+        return LedgerSnapshot(
+            positions=tuple(
+                (shard.node_name, len(shard)) for shard in self._all_shards()
+            )
+        )
+
+    def charges_since(self, snapshot: LedgerSnapshot) -> Tuple[Charge, ...]:
+        """Merged charges recorded after ``snapshot``, in timeline order.
+
+        Shards created after the snapshot contribute from their beginning.
+        """
+        positions = dict(snapshot.positions)
+        fresh: List[Charge] = []
+        for shard in self._all_shards():
+            fresh.extend(shard.charges[positions.get(shard.node_name, 0):])
+        fresh.sort(key=_merge_key)
+        return tuple(fresh)
+
+    def total_seconds(self) -> float:
+        return sum(shard.total_seconds() for shard in self._all_shards())
+
+    def seconds(self, *categories: CostCategory) -> float:
+        return sum(shard.seconds(*categories) for shard in self._all_shards())
+
+    def serialization_seconds(self) -> float:
+        return self.seconds(*SERIALIZATION_CATEGORIES)
+
+    def cpu_seconds(self, domain: Optional[CpuDomain] = None) -> float:
+        return sum(shard.cpu_seconds(domain) for shard in self._all_shards())
+
+    @property
+    def copied_bytes(self) -> int:
+        return sum(shard.copied_bytes for shard in self._all_shards())
+
+    @property
+    def reference_bytes(self) -> int:
+        return sum(shard.reference_bytes for shard in self._all_shards())
+
+    @property
+    def syscalls(self) -> int:
+        return sum(shard.syscalls for shard in self._all_shards())
+
+    @property
+    def context_switches(self) -> int:
+        return sum(shard.context_switches for shard in self._all_shards())
+
+    def peak_memory_bytes(self) -> int:
+        """Cluster RAM: per-node peaks aggregate (sum of shard peaks)."""
+        return sum(shard.peak_memory_bytes() for shard in self._all_shards())
+
+    def peak_memory_mb(self) -> float:
+        return self.peak_memory_bytes() / (1024.0 * 1024.0)
+
+    def peak_memory_by_node(self) -> Dict[str, int]:
+        """Per-shard memory peaks (cluster shard under its own label)."""
+        return {
+            shard.node_name: shard.peak_memory_bytes() for shard in self._all_shards()
+        }
+
+    def meters(self) -> Dict[str, MemoryMeter]:
+        out: Dict[str, MemoryMeter] = {}
+        for shard in self._all_shards():
+            out.update(shard.meters())
+        return out
+
+    def breakdown(self) -> Dict[str, float]:
+        out: Dict[str, float] = {}
+        for shard in self._all_shards():
+            for key, value in shard.breakdown().items():
+                out[key] = out.get(key, 0.0) + value
+        return out
+
+    def node_breakdown(self) -> Dict[str, Dict[str, float]]:
+        """Seconds per category, per shard (the per-node metric series)."""
+        return {shard.node_name: shard.breakdown() for shard in self._all_shards()}
+
+    def reset(self) -> None:
+        for shard in self._all_shards():
+            shard.reset()  # resetting the shared clock repeatedly is harmless
+        self._merged_cache = ()
+        self._merged_cache_len = 0
+        self.clock.reset()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "ClusterLedger(name=%r, shards=%d, charges=%d)" % (
+            self.name,
+            len(self._shards),
+            len(self),
         )

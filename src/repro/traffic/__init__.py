@@ -44,6 +44,7 @@ from repro.traffic.arrivals import (
     PoissonArrivals,
     Request,
     TraceArrivals,
+    load_azure_trace,
 )
 from repro.traffic.autoscaler import (
     Autoscaler,
@@ -95,6 +96,7 @@ from repro.traffic.slo import (
 from repro.traffic.tenants import (
     CapacityArbiter,
     MultiTenantSummary,
+    NodeUsage,
     TenantError,
     TenantSpec,
     derived_seed,
@@ -114,6 +116,7 @@ __all__ = [
     "BurstyArrivals",
     "DiurnalArrivals",
     "TraceArrivals",
+    "load_azure_trace",
     "Request",
     "Autoscaler",
     "AutoscalerError",
@@ -154,6 +157,7 @@ __all__ = [
     "TenantError",
     "CapacityArbiter",
     "MultiTenantSummary",
+    "NodeUsage",
     "derived_seed",
     "parse_tenants",
     "render_traffic_report",

@@ -10,9 +10,13 @@ deterministically, so two runs compared under different scheduling policies
 see byte-identical classed arrivals — and :func:`parse_classes` reads the
 ``repro traffic --classes`` JSON format.
 
-Deadlines are soft SLOs: a request that misses its deadline still executes
-and completes, it just counts as a miss in the per-class deadline-met
-ratio (:class:`~repro.traffic.slo.ClassSummary`).
+Deadlines are soft SLOs by default: a request that misses its deadline
+still executes and completes, it just counts as a miss in the per-class
+deadline-met ratio (:class:`~repro.traffic.slo.ClassSummary`).  A class
+with ``hard=True`` opts into admission control instead: the gateway sheds
+its requests at dispatch time once the deadline can no longer be met,
+because serving a hard-deadline request late produces no value — only
+wasted replica seconds.
 """
 
 from __future__ import annotations
@@ -45,6 +49,9 @@ class RequestClass:
     priority: int = 0
     #: Relative deadline from arrival, in seconds (``None`` = no deadline).
     deadline_s: Optional[float] = None
+    #: Hard deadline: shed at dispatch when the deadline cannot be met,
+    #: instead of serving (and counting) a late completion.
+    hard: bool = False
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -59,6 +66,10 @@ class RequestClass:
             raise RequestClassError("class %r: share must be positive" % self.name)
         if self.deadline_s is not None and self.deadline_s <= 0:
             raise RequestClassError("class %r: deadline must be positive" % self.name)
+        if self.hard and self.deadline_s is None:
+            raise RequestClassError(
+                "class %r: a hard class needs a deadline to enforce" % self.name
+            )
 
 
 def validate_mix(classes: Sequence[RequestClass]) -> Tuple[RequestClass, ...]:
@@ -100,6 +111,7 @@ def assign_classes(
                     if chosen.deadline_s is not None
                     else None
                 ),
+                hard=chosen.hard,
             )
         )
     return stamped
@@ -108,7 +120,7 @@ def assign_classes(
 # -- config parsing (the ``repro traffic --classes`` format) ------------------------
 
 #: Recognised keys of one class object in a ``--classes`` config.
-_CLASS_KEYS = frozenset({"name", "share", "priority", "deadline"})
+_CLASS_KEYS = frozenset({"name", "share", "priority", "deadline", "hard"})
 
 
 def parse_classes(source: str) -> Tuple[RequestClass, ...]:
@@ -116,10 +128,12 @@ def parse_classes(source: str) -> Tuple[RequestClass, ...]:
 
     Each element describes one class::
 
-        {"name": "interactive", "share": 0.5, "priority": 0, "deadline": 2.0}
+        {"name": "interactive", "share": 0.5, "priority": 0, "deadline": 2.0,
+         "hard": true}
 
-    ``share`` defaults to 1.0 (equal mix), ``priority`` to 0 and
-    ``deadline`` (relative seconds) to none.
+    ``share`` defaults to 1.0 (equal mix), ``priority`` to 0, ``deadline``
+    (relative seconds) to none and ``hard`` (shed at dispatch when the
+    deadline cannot be met) to false.
     """
     text = source
     if os.path.exists(source):
@@ -154,6 +168,7 @@ def parse_classes(source: str) -> Tuple[RequestClass, ...]:
                     deadline_s=(
                         float(entry["deadline"]) if entry.get("deadline") is not None else None
                     ),
+                    hard=bool(entry.get("hard", False)),
                 )
             )
         except (TypeError, ValueError) as exc:

@@ -27,9 +27,20 @@ per-request cost of a given transfer never varies.  Contention is then
 modelled by the engine's concurrency bounds rather than by re-simulating
 every transfer, which keeps hundred-thousand-request runs cheap.
 
-Everything is driven by one :class:`~repro.sim.engine.EventLoop`, so a
-seeded run is exactly reproducible: same arrivals, same scaling decisions,
-same percentiles.
+Everything is driven by one
+:class:`~repro.sim.engine.PartitionedEventLoop`, so a seeded run is exactly
+reproducible: same arrivals, same scaling decisions, same percentiles.
+Cost accounting is sharded per node (each node of the serving cluster
+charges its own :class:`~repro.sim.ledger.NodeLedger`), and with
+``parallel_nodes`` the engine exploits that: per-node completion work runs
+in concurrent thread phases between cross-node synchronization points
+(gateway dispatch), the per-(mode, payload) service-time measurements —
+each an isolated simulation — are computed in parallel worker processes
+up front, and whole compared runs (:func:`run_comparison`,
+:func:`~repro.traffic.policies.compare_scaling_policies`) ship entire
+cluster simulations to worker processes, which is where multi-core hosts
+win their wall-clock.  A parallel run produces summaries and figures
+identical to the serial one under the same seeds.
 """
 
 from __future__ import annotations
@@ -50,12 +61,12 @@ from repro.platform.gateway import (
 from repro.platform.orchestrator import Orchestrator
 from repro.sim.clock import SimClock
 from repro.sim.costs import CostModel, DEFAULT_COST_MODEL
-from repro.sim.engine import EventLoop
+from repro.sim.engine import PartitionedEventLoop, parallel_map
 from repro.sim.ledger import CostCategory, CostLedger
 from repro.traffic.arrivals import Request
 from repro.traffic.autoscaler import Autoscaler, LoadSample, TargetConcurrencyPolicy
 from repro.traffic.slo import RequestOutcome, RequestRecord, TrafficSummary, summarize
-from repro.traffic.tenants import CapacityArbiter, MultiTenantSummary, TenantSpec
+from repro.traffic.tenants import CapacityArbiter, MultiTenantSummary, NodeUsage, TenantSpec
 from repro.wasm.runtime import RuntimeKind
 from repro.workloads.generators import make_payload
 
@@ -91,6 +102,10 @@ class TrafficConfig:
     #: Load-balancer policy at the gateway.
     routing: RoutingPolicy = RoutingPolicy.LEAST_LOADED
     cost_model: CostModel = DEFAULT_COST_MODEL
+    #: Simulate nodes in parallel: pre-measure service times in worker
+    #: processes and run per-node completion phases concurrently.  Results
+    #: are identical to a serial run under the same seeds.
+    parallel_nodes: bool = False
 
     def __post_init__(self) -> None:
         if self.nodes < 1:
@@ -145,6 +160,18 @@ class _TenantState:
     @property
     def function(self) -> str:
         return self.spec.function_name
+
+
+def _measure_service_time(mode: str, payload_bytes: int, cost_model: CostModel) -> float:
+    """Workflow latency of one (mode, payload size): one isolated simulation.
+
+    Module-level (and self-contained: fresh cluster, fresh ledger shards,
+    fresh clock) so worker processes can run measurements concurrently for
+    the parallel-nodes path; the result is deterministic either way.
+    """
+    setup = build_pair_setup(mode, cost_model=cost_model)
+    payload = make_payload(payload_bytes / MB)
+    return setup.invoker.invoke(setup.workflow, payload).total_latency_s
 
 
 def _spec_for_mode(mode: str, function: str, tenant: str = "tenant-1") -> FunctionSpec:
@@ -232,6 +259,8 @@ class MultiTenantTrafficEngine:
         if total_requests == 0:
             raise TrafficEngineError("cannot run with zero requests across all tenants")
         self.records = {}
+        if self.config.parallel_nodes:
+            self._prefill_service_cache(states)
 
         # The shared serving cluster: every tenant's pool lives behind one
         # gateway, every charge lands on one ledger timestamped on the
@@ -255,7 +284,7 @@ class MultiTenantTrafficEngine:
         for state in states:
             gateway.queue.register_tenant(state.name, state.spec.weight)
 
-        loop = EventLoop()
+        loop = PartitionedEventLoop()
         by_tenant = {state.name: state for state in states}
         # Cores bound execution; replica *slots* may oversubscribe them.
         # With oversubscription 1.0 pools partition the cores and queueing
@@ -346,7 +375,10 @@ class MultiTenantTrafficEngine:
 
             The gateway's fair queue decides which tenant to try first; a
             tenant whose pool has no eligible replica is passed over (work
-            conservation) without losing its place in the fair order.
+            conservation) without losing its place in the fair order.  A
+            head request with a *hard* deadline that can no longer be met
+            is shed here — admission control refuses to burn a replica on
+            output nobody can use.
             """
             while True:
                 served = False
@@ -356,12 +388,32 @@ class MultiTenantTrafficEngine:
                     candidates = eligible(state, now, busy, counts[state.name])
                     if not candidates:
                         continue
-                    request = gateway.queue.pop(tenant_name)
+                    request = gateway.queue.peek(tenant_name)
+                    service = self._service_time(state.spec.mode, request.payload_bytes)
+                    if (
+                        request.hard
+                        and request.deadline_s is not None
+                        and now + service > request.deadline_s
+                    ):
+                        gateway.queue.shed_head(tenant_name)
+                        state.records.append(
+                            RequestRecord(
+                                request_id=request.request_id,
+                                function=state.function,
+                                outcome=RequestOutcome.SHED,
+                                arrival_s=request.arrival_s,
+                                request_class=request.request_class,
+                                deadline_s=request.deadline_s,
+                            )
+                        )
+                        run_state["remaining"] -= 1
+                        served = True
+                        break  # re-evaluate: the tenant's next head may serve
+                    gateway.queue.pop(tenant_name)
                     deployed = gateway.route_among(
                         state.function, [replica.deployed for replica in candidates]
                     )
                     replica = state.by_name[deployed.name]
-                    service = self._service_time(state.spec.mode, request.payload_bytes)
                     # Feed the measured service time back into the queue's
                     # per-tenant EWMA: later enqueues snapshot it as their
                     # wfq-cost tag advance, and the autoscaler reads it as
@@ -381,27 +433,41 @@ class MultiTenantTrafficEngine:
                         dispatched: float = now,
                         completion: float = completion,
                         cold_wait: float = cold_wait,
-                    ) -> None:
-                        gateway.release(state.function, replica.deployed)
-                        replica.idle_since = completion
-                        state.records.append(
-                            RequestRecord(
-                                request_id=request.request_id,
-                                function=state.function,
-                                outcome=RequestOutcome.COMPLETED,
-                                arrival_s=request.arrival_s,
-                                dispatch_s=dispatched,
-                                completion_s=completion,
-                                replica=replica.deployed.name,
-                                cold_start_wait_s=cold_wait,
-                                request_class=request.request_class,
-                                deadline_s=request.deadline_s,
-                            )
+                    ):
+                        # Node-local stage: build the completion record from
+                        # values captured at dispatch.  Runs concurrently
+                        # across nodes under --parallel-nodes, charging (and
+                        # touching) nothing shared.
+                        record = RequestRecord(
+                            request_id=request.request_id,
+                            function=state.function,
+                            outcome=RequestOutcome.COMPLETED,
+                            arrival_s=request.arrival_s,
+                            dispatch_s=dispatched,
+                            completion_s=completion,
+                            replica=replica.deployed.name,
+                            cold_start_wait_s=cold_wait,
+                            request_class=request.request_class,
+                            deadline_s=request.deadline_s,
                         )
-                        run_state["remaining"] -= 1
-                        dispatch(loop.now)
 
-                    loop.schedule_at(completion, complete, label="complete")
+                        def join() -> None:
+                            # Cross-node stage, serialized in exact time
+                            # order: gateway bookkeeping and re-dispatch.
+                            gateway.release(state.function, replica.deployed)
+                            replica.idle_since = completion
+                            state.records.append(record)
+                            run_state["remaining"] -= 1
+                            dispatch(loop.now)
+
+                        return join
+
+                    loop.schedule_at(
+                        completion,
+                        complete,
+                        label="complete",
+                        partition=replica.deployed.node_name,
+                    )
                     served = True
                     break  # re-evaluate fair order after every dispatch
                 if not served:
@@ -539,7 +605,10 @@ class MultiTenantTrafficEngine:
                 lambda state=state: control_tick(state),
                 label="tick:%s" % state.name,
             )
-        loop.run()
+        if self.config.parallel_nodes:
+            loop.run_parallel()
+        else:
+            loop.run()
 
         if run_state["remaining"] != 0:
             raise TrafficEngineError(
@@ -594,7 +663,23 @@ class MultiTenantTrafficEngine:
             tenants=tenants,
             cluster=cluster,
             queue_stats=gateway.queue.all_stats(),
+            nodes=self._node_usage(gateway),
         )
+
+    def _node_usage(self, gateway: IngressGateway) -> Dict[str, NodeUsage]:
+        """Per-node cost rollups read off the cluster ledger's shards."""
+        ledger = gateway.orchestrator.cluster.ledger
+        shards = [ledger.cluster_shard] + list(ledger.shards().values())
+        return {
+            shard.node_name: NodeUsage(
+                node=shard.node_name,
+                charges=len(shard),
+                total_seconds=shard.total_seconds(),
+                cpu_seconds=shard.cpu_seconds(),
+                peak_memory_mb=shard.peak_memory_bytes() / MB,
+            )
+            for shard in shards
+        }
 
     # -- service times ---------------------------------------------------------------
 
@@ -608,11 +693,36 @@ class MultiTenantTrafficEngine:
         key = (mode, payload_bytes)
         cached = self._service_cache.get(key)
         if cached is None:
-            setup = build_pair_setup(mode, cost_model=self.config.cost_model)
-            payload = make_payload(payload_bytes / MB)
-            cached = setup.invoker.invoke(setup.workflow, payload).total_latency_s
+            cached = _measure_service_time(mode, payload_bytes, self.config.cost_model)
             self._service_cache[key] = cached
         return cached
+
+    def _prefill_service_cache(self, states: Sequence[_TenantState]) -> None:
+        """Measure every (mode, payload) the run will need, in parallel.
+
+        Each measurement is an isolated simulation (own cluster, own ledger
+        shards, own clock), so worker processes compute them concurrently
+        and deterministically.  The win scales with the number of distinct
+        (mode, payload) pairs the tenants exercise; runs dominated by the
+        event loop itself parallelize at the whole-run level instead
+        (:func:`run_comparison` / ``compare_scaling_policies``).
+        """
+        needed = sorted(
+            {
+                (state.spec.mode, request.payload_bytes)
+                for state in states
+                for request in state.requests
+            }
+            - set(self._service_cache)
+        )
+        if not needed:
+            return
+        results = parallel_map(
+            _measure_service_time,
+            [(mode, payload_bytes, self.config.cost_model) for mode, payload_bytes in needed],
+        )
+        for key, value in zip(needed, results):
+            self._service_cache[key] = value
 
 
 def _merge_timelines(
@@ -699,6 +809,23 @@ class TrafficEngine:
         return result.tenants["tenant-1"]
 
 
+def _run_single_mode(
+    mode: str,
+    requests: Tuple[Request, ...],
+    autoscaler: Optional[Autoscaler],
+    config: Optional[TrafficConfig],
+    pattern: str,
+    intra: IntraTenantOrder,
+) -> TrafficSummary:
+    """One mode's complete simulation — the unit of process-level parallelism.
+
+    Module-level and built from plain data, so a worker process can run an
+    entire cluster (nodes, ledger shards, clock and all) independently.
+    """
+    engine = TrafficEngine(mode, autoscaler=autoscaler, config=config, intra=intra)
+    return engine.run(requests, pattern=pattern)
+
+
 def run_comparison(
     requests: Sequence[Request],
     modes: Sequence[str] = ("roadrunner-user", "runc-http"),
@@ -706,17 +833,32 @@ def run_comparison(
     config: Optional[TrafficConfig] = None,
     pattern: str = "trace",
     intra: IntraTenantOrder = IntraTenantOrder.FIFO,
+    parallel: bool = False,
 ) -> Dict[str, TrafficSummary]:
     """Run the *same* arrival stream against several runtimes.
 
     Each mode gets a fresh engine and a fresh autoscaler (from
     ``autoscaler_factory``, defaulting to target-concurrency 1.0) so no
     state leaks between the compared runs — the arrival stream is the only
-    thing they share.
+    thing they share.  With ``parallel`` each mode's whole simulation (its
+    own cluster, per-node ledger shards and clock) runs in a worker
+    process; results are identical to the serial comparison because every
+    run is independent and seeded.
     """
-    results: Dict[str, TrafficSummary] = {}
-    for mode in modes:
-        autoscaler = autoscaler_factory() if autoscaler_factory else None
-        engine = TrafficEngine(mode, autoscaler=autoscaler, config=config, intra=intra)
-        results[mode] = engine.run(requests, pattern=pattern)
-    return results
+    ordered = tuple(sorted(requests, key=lambda r: (r.arrival_s, r.request_id)))
+    jobs = [
+        (
+            mode,
+            ordered,
+            autoscaler_factory() if autoscaler_factory else None,
+            config,
+            pattern,
+            intra,
+        )
+        for mode in modes
+    ]
+    if parallel:
+        summaries = parallel_map(_run_single_mode, jobs)
+    else:
+        summaries = [_run_single_mode(*job) for job in jobs]
+    return {mode: summary for mode, summary in zip(modes, summaries)}

@@ -35,6 +35,7 @@ def render_summary_table(
         "completed",
         "timed out",
         "dropped",
+        "shed",
         "duration (s)",
         "goodput (rps)",
         "mean replicas",
@@ -49,6 +50,7 @@ def render_summary_table(
             summary.completed,
             summary.timed_out,
             summary.dropped,
+            summary.shed,
             summary.duration_s,
             summary.goodput_rps,
             summary.mean_replicas,
@@ -132,6 +134,7 @@ def render_class_table(
         "completed",
         "timed out",
         "dropped",
+        "shed",
         "deadline met",
         "deadline total",
         "met ratio",
@@ -146,6 +149,7 @@ def render_class_table(
             cls.completed,
             cls.timed_out,
             cls.dropped,
+            cls.shed,
             cls.deadline_met,
             cls.deadline_total,
             cls.deadline_met_ratio,
@@ -204,13 +208,37 @@ def render_policy_comparison(results: Mapping[str, TrafficSummary]) -> str:
 
 
 def render_fairness_table(summary: MultiTenantSummary) -> str:
-    """Gateway admission accounting: weights, dispatches, drops, timeouts."""
-    headers = ["tenant", "weight", "enqueued", "dispatched", "dropped", "timed out"]
+    """Gateway admission accounting: weights, dispatches, drops, timeouts, sheds."""
+    headers = ["tenant", "weight", "enqueued", "dispatched", "dropped", "timed out", "shed"]
     rows = [
-        [stats.tenant, stats.weight, stats.enqueued, stats.dispatched, stats.dropped, stats.timed_out]
+        [
+            stats.tenant,
+            stats.weight,
+            stats.enqueued,
+            stats.dispatched,
+            stats.dropped,
+            stats.timed_out,
+            stats.shed,
+        ]
         for stats in summary.queue_stats.values()
     ]
     return format_table(headers, rows, title="Gateway fair queue (%s)" % summary.fairness)
+
+
+def render_node_table(summary: MultiTenantSummary) -> str:
+    """Per-node ledger usage: what each shard of the cluster accounted."""
+    headers = ["node", "charges", "total (s)", "cpu (s)", "peak RAM (MB)"]
+    rows = [
+        [
+            usage.node,
+            usage.charges,
+            usage.total_seconds,
+            usage.cpu_seconds,
+            usage.peak_memory_mb,
+        ]
+        for usage in summary.nodes.values()
+    ]
+    return format_table(headers, rows, title="Per-node ledger shards")
 
 
 def render_multi_tenant_report(summary: MultiTenantSummary) -> str:
@@ -233,6 +261,8 @@ def render_multi_tenant_report(summary: MultiTenantSummary) -> str:
         render_summary_table({"cluster": summary.cluster}, title="Cluster rollup", label="scope"),
         "",
     ])
+    if summary.nodes:
+        parts.extend([render_node_table(summary), ""])
     parts.extend(
         render_replica_timeline(tenant_summary, label=name)
         for name, tenant_summary in summary.tenants.items()

@@ -34,6 +34,7 @@ class RequestOutcome(enum.Enum):
     COMPLETED = "completed"
     TIMED_OUT = "timed_out"   # waited in the queue past the admission timeout
     DROPPED = "dropped"       # rejected at admission (queue full)
+    SHED = "shed"             # hard deadline unmeetable at dispatch (admission control)
 
 
 @dataclass(frozen=True)
@@ -91,7 +92,7 @@ class RequestRecord:
     def deadline_met(self) -> Optional[bool]:
         """Whether the deadline was met (``None`` when the request had none).
 
-        A dropped or timed-out request with a deadline missed it by
+        A dropped, timed-out or shed request with a deadline missed it by
         definition: it never produced output at all.
         """
         if self.deadline_s is None:
@@ -112,6 +113,8 @@ class ClassSummary:
     deadline_total: int
     deadline_met: int
     latency: LatencySummary
+    #: Hard-deadline requests shed by admission control at dispatch time.
+    shed: int = 0
 
     @property
     def deadline_missed(self) -> int:
@@ -147,6 +150,7 @@ def summarize_classes(
                 completed=len(completed),
                 timed_out=sum(1 for r in mine if r.outcome is RequestOutcome.TIMED_OUT),
                 dropped=sum(1 for r in mine if r.outcome is RequestOutcome.DROPPED),
+                shed=sum(1 for r in mine if r.outcome is RequestOutcome.SHED),
                 deadline_total=len(with_deadline),
                 deadline_met=sum(1 for r in with_deadline if r.deadline_met),
                 latency=(
@@ -180,6 +184,8 @@ class TrafficSummary:
     replica_timeline: Tuple[Tuple[float, int], ...]
     #: Per-scheduling-class rollup (sorted by class name).
     classes: Tuple[ClassSummary, ...] = ()
+    #: Hard-deadline requests shed by admission control at dispatch time.
+    shed: int = 0
 
     @property
     def deadline_total(self) -> int:
@@ -208,7 +214,7 @@ class TrafficSummary:
     def failure_fraction(self) -> float:
         if self.offered == 0:
             return 0.0
-        return (self.timed_out + self.dropped) / self.offered
+        return (self.timed_out + self.dropped + self.shed) / self.offered
 
     @property
     def mean_replicas(self) -> float:
@@ -234,6 +240,7 @@ def summarize(
     completed = [r for r in records if r.outcome is RequestOutcome.COMPLETED]
     timed_out = sum(1 for r in records if r.outcome is RequestOutcome.TIMED_OUT)
     dropped = sum(1 for r in records if r.outcome is RequestOutcome.DROPPED)
+    shed = sum(1 for r in records if r.outcome is RequestOutcome.SHED)
     if completed:
         latency = LatencySummary.from_samples([r.latency_s for r in completed])
         queueing = LatencySummary.from_samples([r.queueing_delay_s for r in completed])
@@ -248,6 +255,7 @@ def summarize(
         completed=len(completed),
         timed_out=timed_out,
         dropped=dropped,
+        shed=shed,
         latency=latency,
         queueing=queueing,
         service=service,

@@ -206,6 +206,23 @@ class CapacityArbiter:
 
 
 @dataclass(frozen=True)
+class NodeUsage:
+    """One ledger shard's slice of a traffic run (the per-node cost rollup).
+
+    The engine reads these off the cluster ledger's per-node shards after a
+    run: how many charges a node recorded, the simulated seconds and CPU
+    seconds it accounted, and its memory peak.  The ``cluster`` row holds
+    node-less work (ingress routing at the gateway).
+    """
+
+    node: str
+    charges: int
+    total_seconds: float
+    cpu_seconds: float
+    peak_memory_mb: float
+
+
+@dataclass(frozen=True)
 class MultiTenantSummary:
     """Everything one shared-cluster multi-tenant run produced."""
 
@@ -217,6 +234,8 @@ class MultiTenantSummary:
     cluster: TrafficSummary
     #: Gateway admission accounting per tenant (drops/timeouts happen there).
     queue_stats: Dict[str, TenantQueueStats] = field(default_factory=dict)
+    #: Per-node cost rollups from the sharded cluster ledger, keyed by node.
+    nodes: Dict[str, NodeUsage] = field(default_factory=dict)
 
     def tenant(self, name: str) -> TrafficSummary:
         if name not in self.tenants:

@@ -1,0 +1,121 @@
+"""Tests for the partitioned event loop and the deterministic parallel map."""
+
+import pytest
+
+from repro.sim.engine import (
+    EngineError,
+    EventLoop,
+    PartitionedEventLoop,
+    parallel_map,
+)
+
+
+def _record(log, tag):
+    def action():
+        log.append(tag)
+    return action
+
+
+def test_serial_run_executes_joins_in_place():
+    loop = EventLoop()
+    log = []
+
+    def two_stage():
+        log.append("stage")
+        return lambda: log.append("join")
+
+    loop.schedule(1.0, two_stage)
+    loop.schedule(2.0, _record(log, "later"))
+    loop.run()
+    assert log == ["stage", "join", "later"]
+    assert loop.executed_events == 2
+
+
+def _build_workload(loop, log):
+    """Node events interleaved with a global barrier and dynamic scheduling."""
+    for index, node in enumerate(("a", "b", "c")):
+        loop.schedule_at(
+            1.0 + index * 0.1,
+            _make_two_stage(log, node),
+            label=node,
+            partition=node,
+        )
+
+    def barrier():
+        log.append("barrier@%s" % loop.now)
+        # Newly scheduled work after the barrier, including node events.
+        loop.schedule(0.5, _make_two_stage(log, "d"), partition="d")
+
+    loop.schedule_at(2.0, barrier, label="barrier")
+
+
+def _make_two_stage(log, node):
+    def action():
+        # Node-local stage: touches only captured state.
+        def join():
+            log.append("join:%s" % node)
+        return join
+    return action
+
+
+def test_run_parallel_matches_serial_order_exactly():
+    serial_log, parallel_log = [], []
+    serial = PartitionedEventLoop()
+    _build_workload(serial, serial_log)
+    serial.run()
+
+    parallel = PartitionedEventLoop(max_workers=4)
+    _build_workload(parallel, parallel_log)
+    parallel.run_parallel()
+
+    assert parallel_log == serial_log
+    assert parallel_log == ["join:a", "join:b", "join:c", "barrier@2.0", "join:d"]
+    assert parallel.now == serial.now
+    assert parallel.parallel_batches >= 1
+
+
+def test_batches_stop_at_global_events_and_repeated_partitions():
+    loop = PartitionedEventLoop()
+    loop.schedule_at(1.0, lambda: None, label="a1", partition="a")
+    loop.schedule_at(1.1, lambda: None, label="a2", partition="a")  # repeats "a"
+    loop.schedule_at(1.2, lambda: None, label="b1", partition="b")
+    # Only a1 can batch: a2 repeats partition "a", closing the phase before b1.
+    assert [event.label for event in loop._collect_batch(until=None)] == ["a1"]
+
+    barrier_loop = PartitionedEventLoop()
+    barrier_loop.schedule_at(1.0, lambda: None, label="a1", partition="a")
+    barrier_loop.schedule_at(1.1, lambda: None, label="global")
+    barrier_loop.schedule_at(1.2, lambda: None, label="b1", partition="b")
+    # The global event is a synchronization boundary.
+    assert [event.label for event in barrier_loop._collect_batch(until=None)] == ["a1"]
+
+
+def test_run_parallel_respects_until():
+    loop = PartitionedEventLoop()
+    log = []
+    loop.schedule_at(1.0, _record(log, "early"), partition="a")
+    loop.schedule_at(5.0, _record(log, "late"), partition="b")
+    assert loop.run_parallel(until=2.0) == 2.0
+    assert log == ["early"]
+    assert loop.pending() == 1
+
+
+def test_partitioned_loop_still_rejects_past_events():
+    loop = PartitionedEventLoop()
+    loop.schedule_at(1.0, lambda: None, partition="a")
+    loop.run()
+    with pytest.raises(EngineError):
+        loop.schedule_at(0.5, lambda: None)
+
+
+def _square(value):
+    return value * value
+
+
+def test_parallel_map_preserves_input_order():
+    items = [(n,) for n in range(12)]
+    assert parallel_map(_square, items) == [n * n for n in range(12)]
+
+
+def test_parallel_map_single_item_runs_inline():
+    assert parallel_map(_square, [(7,)], max_workers=1) == [49]

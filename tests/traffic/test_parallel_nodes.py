@@ -1,0 +1,78 @@
+"""Parallel multi-node simulation must be indistinguishable from serial.
+
+``parallel_nodes`` changes *how* a run executes — service-time measurements
+in worker processes, per-node completion phases in concurrent threads over
+the sharded ledgers — but not *what* it computes: summaries, per-class
+rollups, records and exported figures are identical under the same seeds.
+"""
+
+import pytest
+
+from repro.metrics.export import figure_to_csv, multi_tenant_to_figure
+from repro.traffic.arrivals import BurstyArrivals, PoissonArrivals
+from repro.traffic.classes import RequestClass
+from repro.traffic.engine import MultiTenantTrafficEngine, TrafficConfig
+from repro.traffic.tenants import TenantSpec
+
+
+def _tenants():
+    return [
+        TenantSpec(
+            name="steady",
+            mode="roadrunner-user",
+            weight=2,
+            arrivals=PoissonArrivals(
+                rate_rps=25, duration_s=8, function="steady", payload_mb=0.5, seed=11
+            ),
+            classes=(RequestClass(name="rt", deadline_s=0.5, hard=True),),
+        ),
+        TenantSpec(
+            name="noisy",
+            mode="runc-http",
+            weight=1,
+            arrivals=BurstyArrivals(
+                on_rate_rps=60, duration_s=8, function="noisy", payload_mb=1.0, seed=7
+            ),
+        ),
+    ]
+
+
+def _run(parallel: bool):
+    engine = MultiTenantTrafficEngine(
+        _tenants(),
+        config=TrafficConfig(nodes=4, parallel_nodes=parallel),
+    )
+    summary = engine.run()
+    return engine, summary
+
+
+def test_parallel_nodes_reproduces_the_serial_run_exactly():
+    serial_engine, serial = _run(False)
+    parallel_engine, parallel = _run(True)
+
+    assert parallel.tenants == serial.tenants
+    assert parallel.cluster == serial.cluster
+    assert parallel.queue_stats == serial.queue_stats
+    assert parallel.nodes == serial.nodes
+    assert parallel_engine.records == serial_engine.records
+    # The exported figure — what downstream plots consume — is byte-equal.
+    assert figure_to_csv(multi_tenant_to_figure(parallel)) == figure_to_csv(
+        multi_tenant_to_figure(serial)
+    )
+
+
+def test_parallel_prefill_populates_the_service_cache_up_front():
+    engine = MultiTenantTrafficEngine(
+        _tenants(), config=TrafficConfig(nodes=4, parallel_nodes=True)
+    )
+    engine.run()
+    assert ("roadrunner-user", 512 * 1024) in engine._service_cache
+    assert ("runc-http", 1024 * 1024) in engine._service_cache
+
+
+def test_node_usage_rollup_covers_every_node_and_the_cluster_shard():
+    _, summary = _run(False)
+    assert set(summary.nodes) == {"cluster", "traffic-0", "traffic-1", "traffic-2", "traffic-3"}
+    cluster_row = summary.nodes["cluster"]
+    assert cluster_row.charges > 0  # ingress routing charges are node-less
+    assert sum(usage.charges for usage in summary.nodes.values()) > cluster_row.charges
