@@ -1,0 +1,109 @@
+"""Observability drill-down: one instrumented run, every telemetry surface.
+
+Drives a seeded bursty stream against Roadrunner's user-space mode with a
+full telemetry stack attached, then walks the outputs an operator would
+reach for, in order of zoom:
+
+1. the **latency waterfall** — where completed requests spent their time
+   (queue vs cold start vs service), per scheduling class;
+2. the **metrics registry** — request counters by outcome, replica and
+   queue-depth gauges, latency summaries with P² sketch percentiles,
+   printed as a Prometheus text-exposition snapshot;
+3. the **request traces** — per-request lifecycle spans, exported as
+   Perfetto/Chrome trace JSON with queue / cold-start / service slices
+   nested inside each request's track (open in https://ui.perfetto.dev);
+4. the **JSONL event stream** — one structured line per request outcome
+   and scaling action, diffable across seeded runs;
+5. the same run again in **sketch mode** (``retain_records=False``):
+   no per-request records retained, identical summary shape, streaming
+   percentiles within a whisker of the exact ones.
+
+Run with::
+
+    python examples/observability_drilldown.py
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import tempfile
+
+from repro.metrics.timeline import export_traffic_trace
+from repro.obs import (
+    JsonlEventWriter,
+    ProgressReporter,
+    Telemetry,
+    TraceLog,
+    read_jsonl,
+    render_prometheus,
+)
+from repro.traffic import (
+    Autoscaler,
+    BurstyArrivals,
+    TargetConcurrencyPolicy,
+    TrafficConfig,
+    TrafficEngine,
+    render_waterfall_table,
+)
+
+
+def make_autoscaler() -> Autoscaler:
+    return Autoscaler(
+        TargetConcurrencyPolicy(target_concurrency=1.0),
+        min_replicas=1,
+        max_replicas=32,
+        keep_alive_s=10.0,
+        control_interval_s=1.0,
+    )
+
+
+def main() -> int:
+    arrivals = BurstyArrivals(
+        on_rate_rps=120.0, duration_s=40.0, on_s=5.0, off_s=10.0, payload_mb=1.0, seed=23
+    )
+    requests = arrivals.generate()
+    out_dir = tempfile.mkdtemp(prefix="repro-obs-")
+    events_path = os.path.join(out_dir, "events.jsonl")
+    trace_path = os.path.join(out_dir, "trace.json")
+
+    # 1-4: one instrumented run with every sink attached.
+    telemetry = Telemetry(
+        trace_log=TraceLog(),
+        events=JsonlEventWriter(events_path),
+        progress=ProgressReporter(interval_s=10.0),
+    )
+    engine = TrafficEngine("roadrunner-user", autoscaler=make_autoscaler(), telemetry=telemetry)
+    summary = engine.run(requests, pattern=arrivals.name)
+    telemetry.events.close()
+
+    print(render_waterfall_table(engine.waterfall))
+    print()
+    print("Prometheus exposition snapshot (first 20 lines):")
+    for line in render_prometheus(telemetry.registry).splitlines()[:20]:
+        print("  " + line)
+
+    export_traffic_trace(trace_path, telemetry.trace_log.traces)
+    events = read_jsonl(events_path)
+    scaling = [event for event in events if event["event"] == "scale"]
+    print()
+    print("wrote %s (%d request tracks; open in ui.perfetto.dev)" % (trace_path, len(telemetry.trace_log)))
+    print("wrote %s (%d events, %d scaling actions)" % (events_path, len(events), len(scaling)))
+
+    # 5: the same stream in sketch mode — no records, streaming percentiles.
+    sketch_engine = TrafficEngine(
+        "roadrunner-user",
+        autoscaler=make_autoscaler(),
+        config=TrafficConfig(retain_records=False),
+    )
+    sketch = sketch_engine.run(requests, pattern=arrivals.name)
+    print()
+    print("exact  p50/p99: %.6fs / %.6fs (from %d retained records)"
+          % (summary.latency.p50_s, summary.latency.p99_s, len(engine.records)))
+    print("sketch p50/p99: %.6fs / %.6fs (from %d retained records)"
+          % (sketch.latency.p50_s, sketch.latency.p99_s, len(sketch_engine.records)))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -25,10 +25,13 @@ Commands
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import sys
-from typing import List, Optional
+import time
+from typing import Dict, List, Optional
 
+import repro
 from repro.experiments.claims import evaluate_claims, render_claims
 from repro.experiments.runner import render_all, run_all
 from repro.metrics.export import (
@@ -37,6 +40,14 @@ from repro.metrics.export import (
     policies_to_figure,
     traffic_to_figure,
     write_figure,
+)
+from repro.metrics.timeline import export_traffic_trace
+from repro.obs import (
+    JsonlEventWriter,
+    ProgressReporter,
+    Telemetry,
+    TraceLog,
+    write_prometheus,
 )
 from repro.platform.gateway import FairnessPolicy, IntraTenantOrder
 from repro.platform.runtime_selector import RuntimeSelector, WorkflowProfile
@@ -65,6 +76,7 @@ from repro.traffic.report import (
     render_multi_tenant_report,
     render_policy_comparison,
     render_traffic_report,
+    render_waterfall_table,
 )
 from repro.traffic.tenants import TenantError, TenantSpec, derived_seed, parse_tenants
 
@@ -170,12 +182,80 @@ def _intra_order(args: argparse.Namespace, classes_in_play: bool) -> IntraTenant
     return IntraTenantOrder.EDF if classes_in_play else IntraTenantOrder.FIFO
 
 
+def _wants_telemetry(args: argparse.Namespace) -> bool:
+    return bool(args.metrics_out or args.trace_out or args.events_out or args.progress)
+
+
+def _suffixed(path: str, tag: str) -> str:
+    """``out.json`` + tag ``runc-http`` -> ``out-runc-http.json``."""
+    if not tag:
+        return path
+    root, ext = os.path.splitext(path)
+    return "%s-%s%s" % (root, tag, ext)
+
+
+def _build_telemetry(args: argparse.Namespace, tag: str = "") -> Optional[Telemetry]:
+    """One telemetry stack for one run (per mode in a comparison)."""
+    if not _wants_telemetry(args):
+        return None
+    return Telemetry(
+        trace_log=TraceLog() if args.trace_out else None,
+        events=JsonlEventWriter(_suffixed(args.events_out, tag)) if args.events_out else None,
+        progress=ProgressReporter(interval_s=args.progress_interval) if args.progress else None,
+    )
+
+
+def _drain_telemetry(args: argparse.Namespace, telemetry: Optional[Telemetry], tag: str = "") -> List[str]:
+    """Write the run's telemetry exports; returns the paths written."""
+    if telemetry is None:
+        return []
+    written: List[str] = []
+    if args.metrics_out:
+        written.append(write_prometheus(telemetry.registry, _suffixed(args.metrics_out, tag)))
+    if args.trace_out and telemetry.trace_log is not None:
+        written.append(
+            export_traffic_trace(_suffixed(args.trace_out, tag), telemetry.trace_log.traces)
+        )
+    if telemetry.events is not None:
+        if telemetry.events.path:
+            written.append(telemetry.events.path)
+        telemetry.events.close()
+    for path in written:
+        print("wrote %s" % path)
+    return written
+
+
+def _write_manifest(args: argparse.Namespace, outputs: List[str], started_wall: float) -> Optional[str]:
+    """Provenance next to the exports: resolved config, seed, version, timing."""
+    if not outputs:
+        return None
+    config = {
+        key: value
+        for key, value in sorted(vars(args).items())
+        if key != "handler" and not callable(value)
+    }
+    manifest = {
+        "command": "traffic",
+        "config": config,
+        "seed": args.seed,
+        "version": repro.__version__,
+        "wall_seconds": round(time.time() - started_wall, 3),
+        "outputs": [os.path.abspath(path) for path in outputs],
+    }
+    path = os.path.join(os.path.dirname(os.path.abspath(outputs[0])), "manifest.json")
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(manifest, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path
+
+
 def _cmd_traffic(args: argparse.Namespace) -> int:
     try:
         classes = parse_classes(args.classes) if args.classes else ()
     except RequestClassError as exc:
         print("invalid --classes: %s" % exc, file=sys.stderr)
         return 2
+    started_wall = time.time()
     intra = _intra_order(args, bool(classes))
     policy_name = args.scaling_policy or args.policy
     factory = _autoscaler_factory(args, policy_name)
@@ -185,9 +265,16 @@ def _cmd_traffic(args: argparse.Namespace) -> int:
         initial_replicas=args.initial_replicas,
         queue_timeout_s=args.timeout,
         parallel_nodes=args.parallel_nodes,
+        retain_records=not args.sketch_mode,
     )
 
     if args.compare_policies:
+        if _wants_telemetry(args):
+            print(
+                "note: --metrics-out/--trace-out/--events-out/--progress are not "
+                "wired into --compare-policies runs; ignoring them",
+                file=sys.stderr,
+            )
         return _cmd_compare_policies(args, classes, config_kwargs)
 
     if args.tenants:
@@ -209,6 +296,7 @@ def _cmd_traffic(args: argparse.Namespace) -> int:
             intra = _intra_order(
                 args, bool(classes) or any(tenant.classes for tenant in tenants)
             )
+            telemetry = _build_telemetry(args)
             engine = MultiTenantTrafficEngine(
                 tenants,
                 config=TrafficConfig(**config_kwargs),
@@ -217,18 +305,28 @@ def _cmd_traffic(args: argparse.Namespace) -> int:
                 autoscaler_factory=factory,
                 oversubscription=args.oversubscription,
                 intra=intra,
+                telemetry=telemetry,
             )
             result = engine.run()
         except (ValueError, TenantError, TrafficEngineError) as exc:
             print("invalid traffic parameters: %s" % exc, file=sys.stderr)
             return 2
         print(render_multi_tenant_report(result))
+        if engine.waterfall:
+            print()
+            print(render_waterfall_table(engine.waterfall))
+        outputs = _drain_telemetry(args, telemetry)
         if args.export:
             path = write_figure(multi_tenant_to_figure(result), args.export, fmt=args.format)
+            outputs.append(path)
             print("\nwrote %s" % path)
         if args.export_nodes:
             path = write_figure(node_usage_to_figure(result), args.export_nodes, fmt=args.format)
+            outputs.append(path)
             print("wrote %s" % path)
+        manifest = _write_manifest(args, outputs, started_wall)
+        if manifest:
+            print("wrote %s" % manifest)
         return 0
 
     modes = [mode.strip() for mode in args.modes.split(",") if mode.strip()]
@@ -242,6 +340,23 @@ def _cmd_traffic(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
+    wants_telemetry = _wants_telemetry(args)
+    if wants_telemetry and args.parallel_nodes and len(modes) > 1:
+        print(
+            "note: telemetry sinks cannot cross process boundaries; "
+            "running the mode comparison serially",
+            file=sys.stderr,
+        )
+    # Per-mode telemetry stacks: export files get a -<mode> suffix when the
+    # comparison covers more than one runtime.
+    telemetries: Dict[str, Optional[Telemetry]] = {}
+
+    def telemetry_for(mode: str) -> Telemetry:
+        tag = mode if len(modes) > 1 else ""
+        telemetries[mode] = _build_telemetry(args, tag)
+        return telemetries[mode]
+
+    waterfalls: Dict[str, List] = {}
     try:
         requests = _make_arrivals(args).generate()
         if classes:
@@ -255,16 +370,30 @@ def _cmd_traffic(args: argparse.Namespace) -> int:
             config=TrafficConfig(**config_kwargs),
             pattern="azure" if args.trace_file else args.pattern,
             intra=intra,
-            parallel=args.parallel_nodes,
+            parallel=args.parallel_nodes and not wants_telemetry,
+            telemetry_factory=telemetry_for if wants_telemetry else None,
+            waterfalls_out=waterfalls,
         )
     except (ValueError, TrafficEngineError) as exc:
         print("invalid traffic parameters: %s" % exc, file=sys.stderr)
         return 2
     print(render_traffic_report(results))
+    waterfall_rows = [row for mode in modes for row in waterfalls.get(mode, [])]
+    if waterfall_rows:
+        print()
+        print(render_waterfall_table(waterfall_rows))
+    outputs: List[str] = []
+    for mode in modes:
+        tag = mode if len(modes) > 1 else ""
+        outputs.extend(_drain_telemetry(args, telemetries.get(mode), tag))
     if args.export:
         figure = traffic_to_figure(results, x_label="mode")
         path = write_figure(figure, args.export, fmt=args.format)
+        outputs.append(path)
         print("\nwrote %s" % path)
+    manifest = _write_manifest(args, outputs, started_wall)
+    if manifest:
+        print("wrote %s" % manifest)
     return 0
 
 
@@ -468,6 +597,39 @@ def build_parser() -> argparse.ArgumentParser:
     traffic.add_argument(
         "--oversubscription", type=float, default=2.0,
         help="multi-tenant: replica slots per core (pools overlap on cores above 1.0)",
+    )
+    traffic.add_argument(
+        "--sketch-mode", action="store_true",
+        help="streaming summaries: fold every request into P2 quantile "
+        "sketches instead of retaining per-request records — constant "
+        "memory however long the run, percentiles estimated (typically "
+        "within 1%% at 100k requests)",
+    )
+    traffic.add_argument(
+        "--metrics-out", metavar="PATH",
+        help="write a Prometheus text-exposition snapshot of the run's "
+        "metrics registry (counters, gauges, quantile summaries); one file "
+        "per mode (suffixed -<mode>) when comparing several",
+    )
+    traffic.add_argument(
+        "--trace-out", metavar="PATH",
+        help="write the request-lifecycle trace as Perfetto/Chrome trace "
+        "JSON: per-request async tracks with nested queue / cold-start / "
+        "service slices, one process per node",
+    )
+    traffic.add_argument(
+        "--events-out", metavar="PATH",
+        help="stream structured JSONL events (run start/end, every request "
+        "outcome with stage durations, every scaling action) to PATH",
+    )
+    traffic.add_argument(
+        "--progress", action="store_true",
+        help="print a heartbeat line (simulated time, requests/s, replicas, "
+        "wall time) to stderr while the run executes",
+    )
+    traffic.add_argument(
+        "--progress-interval", type=float, default=10.0,
+        help="simulated seconds between --progress heartbeats",
     )
     traffic.add_argument(
         "--export", metavar="PATH",

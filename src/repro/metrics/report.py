@@ -72,10 +72,16 @@ def format_latency_summaries(
     This is how every latency distribution in the reproduction is printed:
     figure summaries, trace replays and the traffic engine's SLO tables all
     share the same columns (count, mean, p50, p95, p99, max).
+
+    Summaries with no samples render their statistics as ``n/a`` — a tenant
+    or class that saw zero requests has no distribution, and printing zeros
+    would read as "instant", not "absent".
     """
     headers = [label, "count"] + ["%s (%s)" % (h, unit) for h in ("mean", "p50", "p95", "p99", "max")]
     rows = [
         [name, s.count, s.mean_s, s.p50_s, s.p95_s, s.p99_s, s.max_s]
+        if s.count
+        else [name, 0, "n/a", "n/a", "n/a", "n/a", "n/a"]
         for name, s in summaries.items()
     ]
     return format_table(headers, rows, title=title)

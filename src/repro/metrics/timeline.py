@@ -11,9 +11,12 @@ baselines, wire time for everyone, thin splice slivers for Roadrunner.
 from __future__ import annotations
 
 import json
-from typing import Dict, List, Optional, Sequence
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
 
 from repro.sim.ledger import Charge, CostLedger
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids a hard obs dependency
+    from repro.obs.spans import RequestTrace
 
 
 class TimelineError(ValueError):
@@ -108,3 +111,100 @@ def export_chrome_trace(ledger: CostLedger, path: str, minimum_seconds: float = 
     with open(path, "w", encoding="utf-8") as handle:
         handle.write(content)
     return path
+
+
+# -- request-lifecycle traces --------------------------------------------------------
+
+
+def request_trace_events(
+    traces: Sequence["RequestTrace"], process_name: str = "traffic"
+) -> List[Dict[str, object]]:
+    """Request-stage slices as Chrome-trace *async* events ("b"/"e" phases).
+
+    Each request becomes one async track keyed by ``(pid, cat, id)``: an
+    outer slice spanning arrival→end, with queue / cold-start / service
+    slices nested inside it in lifecycle order.  Async events are the right
+    phase here — unlike "X" complete events on a shared tid, they tolerate
+    the overlap of many concurrent requests on one node.  Requests that
+    never reached a replica (drops, sheds, queue timeouts) land on a
+    synthetic ``gateway`` process.
+    """
+    pids: Dict[str, int] = {}
+    events: List[Dict[str, object]] = []
+
+    def pid_for(node: str) -> int:
+        if node not in pids:
+            pids[node] = len(pids) + 1
+            events.append(
+                {
+                    "name": "process_name",
+                    "ph": "M",
+                    "pid": pids[node],
+                    "args": {"name": "%s/%s" % (process_name, node)},
+                }
+            )
+        return pids[node]
+
+    for trace in traces:
+        pid = pid_for(trace.node or "gateway")
+        track = "req-%s-%d" % (trace.tenant, trace.request_id)
+        outer = {
+            "cat": "request",
+            "id": track,
+            "pid": pid,
+            "tid": 1,
+            "args": {
+                "tenant": trace.tenant,
+                "class": trace.request_class,
+                "outcome": trace.outcome,
+                "replica": trace.replica,
+            },
+        }
+        events.append(
+            dict(outer, name=track, ph="b", ts=trace.arrival_s * 1e6)
+        )
+        for stage, start_s, duration_s in trace.stages():
+            events.append(dict(outer, name=stage, ph="b", ts=start_s * 1e6))
+            events.append(
+                dict(outer, name=stage, ph="e", ts=(start_s + duration_s) * 1e6)
+            )
+        events.append(dict(outer, name=track, ph="e", ts=trace.end_s * 1e6))
+    return events
+
+
+def export_traffic_trace(
+    path: str,
+    traces: Sequence["RequestTrace"],
+    ledger: Optional[CostLedger] = None,
+    minimum_seconds: float = 0.0,
+    process_name: str = "traffic",
+) -> str:
+    """Write request traces (plus, optionally, the ledger timeline) to ``path``.
+
+    The request-stage slices nest inside per-request async tracks; when a
+    ledger is given its charge spans ride along as the usual per-node "X"
+    lanes, so one Perfetto view shows both what the *requests* experienced
+    and what the *nodes* were charged for.
+    """
+    combined = request_trace_events(traces, process_name=process_name)
+    if ledger is not None:
+        ledger_json = json.loads(
+            spans_to_chrome_trace(
+                ledger_to_spans(ledger, minimum_seconds=minimum_seconds),
+                process_name=ledger.name or "repro",
+            )
+        )
+        offset = max((e["pid"] for e in combined), default=0)
+        for event in ledger_json["traceEvents"]:
+            event["pid"] += offset  # keep node lanes distinct from request lanes
+            combined.append(event)
+    content = json.dumps({"traceEvents": combined, "displayTimeUnit": "ms"}, indent=2)
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(content)
+    return path
+
+
+def read_trace_events(path: str) -> List[Dict[str, object]]:
+    """Load a Chrome-trace JSON file's event list back (round-trip helper)."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return json.load(handle)["traceEvents"]

@@ -1,0 +1,201 @@
+"""Streaming SLO accounting: summaries without retaining per-request records.
+
+The default engine keeps one :class:`~repro.traffic.slo.RequestRecord` per
+admitted request and rolls them up at the end — exact, but O(requests)
+memory.  :class:`StreamingTrafficStats` is the constant-memory replacement
+behind ``TrafficConfig(retain_records=False)``: every would-be record is
+folded into counters and :class:`~repro.obs.sketch.QuantileSketch` instances
+(overall and per scheduling class) at completion time and then forgotten.
+``summary()`` produces the same :class:`~repro.traffic.slo.TrafficSummary`
+shape the exact path does, with sketch-estimated percentiles, and
+``waterfall()`` produces the same per-class stage rows the waterfall table
+renders — so reports, exporters and figures are agnostic to which mode fed
+them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from repro.metrics.stats import LatencySummary
+from repro.obs.sketch import QuantileSketch
+from repro.obs.spans import WaterfallRow
+from repro.traffic.slo import ClassSummary, RequestOutcome, RequestRecord, TrafficSummary
+
+
+@dataclass
+class StageSketches:
+    """The four stage distributions one scope (tenant or class) tracks."""
+
+    latency: QuantileSketch = field(default_factory=QuantileSketch)
+    queueing: QuantileSketch = field(default_factory=QuantileSketch)
+    service: QuantileSketch = field(default_factory=QuantileSketch)
+    cold_wait: QuantileSketch = field(default_factory=QuantileSketch)
+
+    def observe(self, record: RequestRecord) -> None:
+        self.latency.observe(record.latency_s)
+        self.queueing.observe(record.queueing_delay_s)
+        self.service.observe(record.service_s)
+        self.cold_wait.observe(record.cold_start_wait_s)
+
+
+@dataclass
+class _ClassStats:
+    """Streaming counterpart of one :class:`ClassSummary`."""
+
+    offered: int = 0
+    completed: int = 0
+    timed_out: int = 0
+    dropped: int = 0
+    shed: int = 0
+    deadline_total: int = 0
+    deadline_met: int = 0
+    stages: StageSketches = field(default_factory=StageSketches)
+
+    def observe(self, record: RequestRecord) -> None:
+        self.offered += 1
+        if record.outcome is RequestOutcome.COMPLETED:
+            self.completed += 1
+            self.stages.observe(record)
+        elif record.outcome is RequestOutcome.TIMED_OUT:
+            self.timed_out += 1
+        elif record.outcome is RequestOutcome.DROPPED:
+            self.dropped += 1
+        elif record.outcome is RequestOutcome.SHED:
+            self.shed += 1
+        if record.deadline_s is not None:
+            self.deadline_total += 1
+            if record.deadline_met:
+                self.deadline_met += 1
+
+    def summary(self, name: str) -> ClassSummary:
+        return ClassSummary(
+            name=name,
+            offered=self.offered,
+            completed=self.completed,
+            timed_out=self.timed_out,
+            dropped=self.dropped,
+            shed=self.shed,
+            deadline_total=self.deadline_total,
+            deadline_met=self.deadline_met,
+            latency=self.stages.latency.summary(),
+        )
+
+
+class StreamingTrafficStats:
+    """Constant-memory rollup of one request stream (a tenant or the cluster)."""
+
+    def __init__(self, declared_classes: Sequence[str] = ()) -> None:
+        self.offered = 0
+        self.stages = StageSketches()
+        self._classes: Dict[str, _ClassStats] = {
+            name: _ClassStats() for name in declared_classes
+        }
+        self._totals = _ClassStats()  # outcome/deadline counters across classes
+
+    def observe(self, record: RequestRecord) -> None:
+        """Fold one finished request in; the record is not retained."""
+        self.offered += 1
+        self._totals.observe(record)
+        if record.outcome is RequestOutcome.COMPLETED:
+            self.stages.observe(record)
+        per_class = self._classes.get(record.request_class)
+        if per_class is None:
+            per_class = self._classes[record.request_class] = _ClassStats()
+        per_class.observe(record)
+
+    @property
+    def completed(self) -> int:
+        return self._totals.completed
+
+    def class_summaries(self) -> Tuple[ClassSummary, ...]:
+        return tuple(
+            self._classes[name].summary(name) for name in sorted(self._classes)
+        )
+
+    def summary(
+        self,
+        mode: str,
+        pattern: str,
+        duration_s: float,
+        cold_starts: int = 0,
+        cold_start_seconds: float = 0.0,
+        replica_timeline: Sequence[Tuple[float, int]] = (),
+        declared_classes: Sequence[str] = (),
+    ) -> TrafficSummary:
+        """The streaming analogue of :func:`repro.traffic.slo.summarize`."""
+        from repro.traffic.slo import _replica_seconds  # shared step integration
+
+        for name in declared_classes:  # zero-request classes still export rows
+            if name not in self._classes:
+                self._classes[name] = _ClassStats()
+        totals = self._totals
+        return TrafficSummary(
+            mode=mode,
+            pattern=pattern,
+            duration_s=duration_s,
+            offered=self.offered,
+            completed=totals.completed,
+            timed_out=totals.timed_out,
+            dropped=totals.dropped,
+            shed=totals.shed,
+            latency=self.stages.latency.summary(),
+            queueing=self.stages.queueing.summary(),
+            service=self.stages.service.summary(),
+            cold_starts=cold_starts,
+            cold_start_seconds=cold_start_seconds,
+            replica_seconds=_replica_seconds(replica_timeline, duration_s),
+            max_replicas=max((count for _, count in replica_timeline), default=0),
+            replica_timeline=tuple(replica_timeline),
+            classes=self.class_summaries(),
+        )
+
+    def waterfall(self, label: str) -> List[WaterfallRow]:
+        """Sketch-estimated waterfall rows, matching the record-based shape."""
+        rows = [
+            _row_from_stages(label, name, stats.completed, stats.stages)
+            for name, stats in sorted(self._classes.items())
+            if stats.completed
+        ]
+        if len(rows) > 1:
+            rows.append(
+                _row_from_stages(label, "(all)", self._totals.completed, self.stages)
+            )
+        return rows
+
+
+def _queue_only(stages: StageSketches) -> Tuple[float, float]:
+    """Mean/p95 of the pure-queue wait, approximated from the two sketches.
+
+    The record path subtracts cold wait per request; streaming can only
+    subtract the aggregates, which is exact for the mean and a serviceable
+    estimate for the tail (cold waits are near-constant per runtime).
+    """
+    mean_q = max(0.0, stages.queueing.mean - stages.cold_wait.mean)
+    p95_q = max(0.0, stages.queueing.quantile(0.95) - stages.cold_wait.quantile(0.95))
+    return mean_q, p95_q
+
+
+def _row_from_stages(
+    label: str, request_class: str, completed: int, stages: StageSketches
+) -> WaterfallRow:
+    queue_mean, queue_p95 = _queue_only(stages)
+    return WaterfallRow(
+        label=label,
+        request_class=request_class,
+        completed=completed,
+        queue_mean_s=queue_mean,
+        queue_p95_s=queue_p95,
+        cold_mean_s=stages.cold_wait.mean,
+        cold_p95_s=stages.cold_wait.quantile(0.95),
+        service_mean_s=stages.service.mean,
+        service_p95_s=stages.service.quantile(0.95),
+        total_mean_s=stages.latency.mean,
+        total_p95_s=stages.latency.quantile(0.95),
+    )
+
+
+def latency_summary_or_empty(values: Sequence[float]) -> LatencySummary:
+    """``LatencySummary.from_samples`` that tolerates zero samples."""
+    return LatencySummary.from_samples(values) if values else LatencySummary.empty()

@@ -1,0 +1,267 @@
+"""The telemetry facade the traffic engine talks to.
+
+One :class:`Telemetry` object bundles the run's observability surfaces — a
+:class:`~repro.obs.registry.MetricsRegistry`, an optional
+:class:`~repro.obs.spans.TraceLog`, an optional
+:class:`~repro.obs.exporters.JsonlEventWriter` and an optional
+:class:`~repro.obs.progress.ProgressReporter` — behind a handful of hooks
+the engine calls at its natural state transitions (request finished, pool
+scaled, control tick, run boundaries).  The engine never branches on which
+sinks exist; the facade fans each hook out to whichever are attached.
+
+Everything here is an observer: hooks never schedule events, mutate engine
+state, or raise on a quiet run, so attaching a full telemetry stack to a
+seeded simulation cannot change its results.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional
+
+from repro.obs.exporters import JsonlEventWriter
+from repro.obs.progress import ProgressReporter
+from repro.obs.registry import MetricsRegistry
+from repro.obs.spans import RequestTrace, TraceLog
+from repro.traffic.autoscaler import LoadSample
+from repro.traffic.slo import RequestOutcome, RequestRecord
+
+
+class Telemetry:
+    """Fan-out from engine lifecycle hooks to the attached telemetry sinks."""
+
+    def __init__(
+        self,
+        registry: Optional[MetricsRegistry] = None,
+        trace_log: Optional[TraceLog] = None,
+        events: Optional[JsonlEventWriter] = None,
+        progress: Optional[ProgressReporter] = None,
+    ) -> None:
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.trace_log = trace_log
+        self.events = events
+        self.progress = progress
+        reg = self.registry
+        self._requests = reg.counter(
+            "repro_requests_total",
+            help="Requests finished, by tenant and outcome.",
+            labels=("tenant", "outcome"),
+        )
+        self._latency = reg.summary(
+            "repro_request_latency_seconds",
+            help="End-to-end latency of completed requests.",
+            labels=("tenant",),
+        )
+        self._stages = reg.summary(
+            "repro_request_stage_seconds",
+            help="Per-stage durations (queue, cold_start, service) of completed requests.",
+            labels=("tenant", "stage"),
+        )
+        self._replicas = reg.gauge(
+            "repro_replicas",
+            help="Current replica pool size.",
+            labels=("tenant",),
+        )
+        self._queue_depth = reg.gauge(
+            "repro_queue_depth",
+            help="Queued requests at the last control tick.",
+            labels=("tenant",),
+        )
+        self._arrival_rate = reg.gauge(
+            "repro_arrival_rate_rps",
+            help="Arrival rate observed over the last control interval.",
+            labels=("tenant",),
+        )
+        self._forecast = reg.gauge(
+            "repro_forecast_rps",
+            help="Predictive policy's arrival-rate forecast (predictive policies only).",
+            labels=("tenant",),
+        )
+        self._forecast_error = reg.summary(
+            "repro_forecast_error_rps",
+            help="Absolute error between the forecast and the observed rate.",
+            labels=("tenant",),
+        )
+        self._cold_starts = reg.counter(
+            "repro_cold_starts_total",
+            help="Replica cold starts paid.",
+            labels=("tenant",),
+        )
+        self._cold_seconds = reg.counter(
+            "repro_cold_start_seconds_total",
+            help="Simulated seconds spent cold-starting replicas.",
+            labels=("tenant",),
+        )
+        self._scaling = reg.counter(
+            "repro_scaling_actions_total",
+            help="Autoscaler pool changes, by direction.",
+            labels=("tenant", "direction"),
+        )
+
+    # -- run boundaries ---------------------------------------------------------------
+
+    def on_run_start(self, total_requests: int, duration_hint_s: float = 0.0) -> None:
+        if self.progress is not None:
+            self.progress.total_requests = total_requests
+            if duration_hint_s > 0:
+                self.progress.duration_s = duration_hint_s
+            self.progress.start()
+        if self.events is not None:
+            self.events.emit({"event": "run_start", "total_requests": total_requests})
+
+    def on_run_end(self, sim_now_s: float, finished: int, replicas: int) -> None:
+        if self.progress is not None:
+            self.progress.finish(sim_now_s, finished, replicas)
+        if self.events is not None:
+            payload: Dict[str, object] = {
+                "event": "run_end",
+                "sim_s": round(sim_now_s, 9),
+                "finished": finished,
+                "replicas": replicas,
+            }
+            if self.trace_log is not None and self.trace_log.dropped:
+                payload["traces_dropped"] = self.trace_log.dropped
+            self.events.emit(payload)
+
+    # -- per-request ------------------------------------------------------------------
+
+    def on_request(self, tenant: str, record: RequestRecord, node: str = "") -> None:
+        """One request reached a terminal outcome; fan it out everywhere."""
+        self._requests.labels(tenant=tenant, outcome=record.outcome.value).inc()
+        trace = RequestTrace.from_record(tenant, record, node=node)
+        if record.outcome is RequestOutcome.COMPLETED:
+            self._latency.labels(tenant=tenant).observe(record.latency_s)
+            for stage, _, duration in trace.stages():
+                self._stages.labels(tenant=tenant, stage=stage).observe(duration)
+        if self.trace_log is not None:
+            self.trace_log.record(trace)
+        if self.events is not None:
+            event: Dict[str, object] = {
+                "event": "request",
+                "tenant": tenant,
+                "id": record.request_id,
+                "class": record.request_class,
+                "outcome": record.outcome.value,
+                "arrival_s": round(record.arrival_s, 9),
+            }
+            if record.outcome is RequestOutcome.COMPLETED:
+                event["latency_s"] = round(record.latency_s, 9)
+                event["queue_s"] = round(trace.queue_s, 9)
+                event["cold_start_s"] = round(trace.cold_start_s, 9)
+                event["service_s"] = round(trace.service_s, 9)
+                event["replica"] = record.replica
+                if node:
+                    event["node"] = node
+            self.events.emit(event)
+
+    def on_progress(self, sim_now_s: float, finished: int, replicas: int) -> None:
+        if self.progress is not None:
+            self.progress.update(sim_now_s, finished, replicas)
+
+    # -- control loop -----------------------------------------------------------------
+
+    def on_scale(
+        self,
+        tenant: str,
+        delta: int,
+        replicas: int,
+        now_s: float,
+        cold_starts: int = 0,
+        cold_seconds: float = 0.0,
+    ) -> None:
+        """The pool changed size by ``delta`` (positive = scale-up)."""
+        if delta == 0:
+            return
+        direction = "up" if delta > 0 else "down"
+        self._scaling.labels(tenant=tenant, direction=direction).inc(abs(delta))
+        self._replicas.labels(tenant=tenant).set(replicas)
+        if cold_starts:
+            self._cold_starts.labels(tenant=tenant).inc(cold_starts)
+            self._cold_seconds.labels(tenant=tenant).inc(cold_seconds)
+        if self.events is not None:
+            self.events.emit(
+                {
+                    "event": "scale",
+                    "tenant": tenant,
+                    "sim_s": round(now_s, 9),
+                    "delta": delta,
+                    "replicas": replicas,
+                    "cold_seconds": round(cold_seconds, 9),
+                }
+            )
+
+    def on_tick(
+        self, tenant: str, sample: LoadSample, forecast_rps: Optional[float] = None
+    ) -> None:
+        """One autoscaler control tick's load view."""
+        self._replicas.labels(tenant=tenant).set(sample.replicas)
+        self._queue_depth.labels(tenant=tenant).set(sample.queued)
+        self._arrival_rate.labels(tenant=tenant).set(sample.arrival_rate_rps)
+        if forecast_rps is not None:
+            self._forecast.labels(tenant=tenant).set(forecast_rps)
+            self._forecast_error.labels(tenant=tenant).observe(
+                abs(forecast_rps - sample.arrival_rate_rps)
+            )
+
+    # -- end-of-run rollups -----------------------------------------------------------
+
+    def observe_queue_stats(self, stats: Mapping[str, object]) -> None:
+        """Fold the gateway's per-tenant queue counters in (run end, once)."""
+        enq = self.registry.counter(
+            "repro_queue_enqueued_total",
+            help="Requests admitted to the fair queue.",
+            labels=("tenant",),
+        )
+        disp = self.registry.counter(
+            "repro_queue_dispatched_total",
+            help="Requests dispatched from the fair queue to a replica.",
+            labels=("tenant",),
+        )
+        dropped = self.registry.counter(
+            "repro_queue_dropped_total",
+            help="Arrivals refused at the admission bound.",
+            labels=("tenant",),
+        )
+        timed_out = self.registry.counter(
+            "repro_queue_timed_out_total",
+            help="Queued requests that outlived the queue timeout.",
+            labels=("tenant",),
+        )
+        shed = self.registry.counter(
+            "repro_queue_shed_total",
+            help="Hard-deadline requests shed by admission control.",
+            labels=("tenant",),
+        )
+        for tenant, tenant_stats in stats.items():
+            enq.labels(tenant=tenant).inc(tenant_stats.enqueued)
+            disp.labels(tenant=tenant).inc(tenant_stats.dispatched)
+            dropped.labels(tenant=tenant).inc(tenant_stats.dropped)
+            timed_out.labels(tenant=tenant).inc(tenant_stats.timed_out)
+            shed.labels(tenant=tenant).inc(tenant_stats.shed)
+
+    def observe_node_usage(self, nodes: Mapping[str, object]) -> None:
+        """Fold per-node ledger rollups into node gauges (run end, once)."""
+        charges = self.registry.gauge(
+            "repro_node_charges",
+            help="Cost-ledger entries charged on the node.",
+            labels=("node",),
+        )
+        seconds = self.registry.gauge(
+            "repro_node_charged_seconds",
+            help="Total simulated seconds charged on the node's ledger shard.",
+            labels=("node",),
+        )
+        cpu = self.registry.gauge(
+            "repro_node_cpu_seconds",
+            help="CPU seconds charged on the node.",
+            labels=("node",),
+        )
+        memory = self.registry.gauge(
+            "repro_node_peak_memory_mb",
+            help="Peak memory charged on the node, in MiB.",
+            labels=("node",),
+        )
+        for name, usage in nodes.items():
+            charges.labels(node=name).set(usage.charges)
+            seconds.labels(node=name).set(usage.total_seconds)
+            cpu.labels(node=name).set(usage.cpu_seconds)
+            memory.labels(node=name).set(usage.peak_memory_mb)

@@ -107,6 +107,7 @@ from repro.traffic.report import (
     render_multi_tenant_report,
     render_policy_comparison,
     render_traffic_report,
+    render_waterfall_table,
 )
 
 __all__ = [
@@ -164,4 +165,5 @@ __all__ = [
     "render_multi_tenant_report",
     "render_class_table",
     "render_policy_comparison",
+    "render_waterfall_table",
 ]

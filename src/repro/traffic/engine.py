@@ -45,8 +45,10 @@ identical to the serial one under the same seeds.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from typing import TYPE_CHECKING
 
 from repro.experiments.environment import build_pair_setup
 from repro.platform.deployment import DeployedFunction
@@ -69,6 +71,13 @@ from repro.traffic.slo import RequestOutcome, RequestRecord, TrafficSummary, sum
 from repro.traffic.tenants import CapacityArbiter, MultiTenantSummary, NodeUsage, TenantSpec
 from repro.wasm.runtime import RuntimeKind
 from repro.workloads.generators import make_payload
+
+if TYPE_CHECKING:  # pragma: no cover - runtime imports are lazy to avoid a
+    # cycle: repro.obs.spans imports repro.traffic.slo, whose package
+    # __init__ imports this module.
+    from repro.obs.spans import WaterfallRow
+    from repro.obs.streaming import StreamingTrafficStats
+    from repro.obs.telemetry import Telemetry
 
 MB = 1024 * 1024
 
@@ -106,6 +115,10 @@ class TrafficConfig:
     #: processes and run per-node completion phases concurrently.  Results
     #: are identical to a serial run under the same seeds.
     parallel_nodes: bool = False
+    #: Keep one RequestRecord per request (exact percentiles, O(requests)
+    #: memory).  False switches the engine to streaming accumulators and P²
+    #: quantile sketches: summaries keep their shape, memory stays constant.
+    retain_records: bool = True
 
     def __post_init__(self) -> None:
         if self.nodes < 1:
@@ -146,6 +159,8 @@ class _TenantState:
     replicas: List[_Replica] = field(default_factory=list)
     by_name: Dict[str, _Replica] = field(default_factory=dict)
     records: List[RequestRecord] = field(default_factory=list)
+    #: Streaming accumulators, built instead of ``records`` in sketch mode.
+    stream: Optional[StreamingTrafficStats] = None
     timeline: List[Tuple[float, int]] = field(default_factory=list)
     cold_starts: int = 0
     cold_start_seconds: float = 0.0
@@ -203,6 +218,7 @@ class MultiTenantTrafficEngine:
         oversubscription: float = 2.0,
         service_cache: Optional[Dict[Tuple[str, int], float]] = None,
         intra: IntraTenantOrder = IntraTenantOrder.FIFO,
+        telemetry: Optional[Telemetry] = None,
     ) -> None:
         if not tenants:
             raise TrafficEngineError("need at least one tenant")
@@ -239,8 +255,13 @@ class MultiTenantTrafficEngine:
         self._service_cache: Dict[Tuple[str, int], float] = (
             service_cache if service_cache is not None else {}
         )
+        self.telemetry = telemetry
         #: Per-tenant records of the last run (sorted by request id).
+        #: Empty lists in sketch mode — nothing is retained there.
         self.records: Dict[str, List[RequestRecord]] = {}
+        #: Latency-waterfall rows of the last run (per tenant + cluster).
+        self.waterfall: List[WaterfallRow] = []
+        self._cluster_stream: Optional[StreamingTrafficStats] = None
 
     # -- public API -----------------------------------------------------------------
 
@@ -259,6 +280,17 @@ class MultiTenantTrafficEngine:
         if total_requests == 0:
             raise TrafficEngineError("cannot run with zero requests across all tenants")
         self.records = {}
+        self.waterfall = []
+        retain = self.config.retain_records
+        if not retain:
+            from repro.obs.streaming import StreamingTrafficStats
+
+            for state in states:
+                state.stream = StreamingTrafficStats(
+                    declared_classes=state.spec.class_names
+                )
+            self._cluster_stream = StreamingTrafficStats()
+        telemetry = self.telemetry
         if self.config.parallel_nodes:
             self._prefill_service_cache(states)
 
@@ -300,6 +332,31 @@ class MultiTenantTrafficEngine:
             run_state["last_event_s"] = max(run_state["last_event_s"], now)
             self.clock.advance_to(loop.now)
 
+        def finish(state: _TenantState, record: RequestRecord, node: str = "") -> None:
+            """One request reached a terminal outcome: account it exactly once.
+
+            The single funnel for all four outcome paths — retained as a
+            record or folded into the streaming accumulators, counted down,
+            and fanned out to the telemetry sinks.  Always called from a
+            serialized context (the join stage for completions; arrivals,
+            expiries and sheds are never node-partitioned), so sketch
+            updates and telemetry stay deterministic under parallel nodes.
+            """
+            if retain:
+                state.records.append(record)
+            else:
+                state.stream.observe(record)
+                self._cluster_stream.observe(record)
+            run_state["remaining"] -= 1
+            if telemetry is not None:
+                telemetry.on_request(state.name, record, node)
+                if telemetry.progress is not None:
+                    telemetry.on_progress(
+                        loop.now,
+                        total_requests - run_state["remaining"],
+                        sum(len(s.replicas) for s in states),
+                    )
+
         def pool_sizes() -> Dict[str, int]:
             return {state.name: len(state.replicas) for state in states}
 
@@ -322,6 +379,7 @@ class MultiTenantTrafficEngine:
             scale-up must pay the full cold start again, so a cached warm VM
             would flatter whichever runtime got to keep it.
             """
+            cold_before = state.cold_start_seconds
             for _ in range(count):
                 before = cluster.ledger.seconds(CostCategory.COLD_START)
                 deployed = gateway.register(state.function_spec, replicas=1, charge_cold_start=True)[0]
@@ -334,6 +392,15 @@ class MultiTenantTrafficEngine:
                 state.replicas.append(replica)
                 state.by_name[deployed.name] = replica
                 loop.schedule_at(now + cold, lambda: dispatch(loop.now), label="warm")
+            if telemetry is not None and count > 0:
+                telemetry.on_scale(
+                    state.name,
+                    count,
+                    len(state.replicas),
+                    now,
+                    cold_starts=count,
+                    cold_seconds=state.cold_start_seconds - cold_before,
+                )
 
         def load_snapshot() -> Tuple[Dict[str, int], Dict[str, Dict[str, int]]]:
             """One pass over the gateway's in-flight counters.
@@ -396,7 +463,8 @@ class MultiTenantTrafficEngine:
                         and now + service > request.deadline_s
                     ):
                         gateway.queue.shed_head(tenant_name)
-                        state.records.append(
+                        finish(
+                            state,
                             RequestRecord(
                                 request_id=request.request_id,
                                 function=state.function,
@@ -404,9 +472,8 @@ class MultiTenantTrafficEngine:
                                 arrival_s=request.arrival_s,
                                 request_class=request.request_class,
                                 deadline_s=request.deadline_s,
-                            )
+                            ),
                         )
-                        run_state["remaining"] -= 1
                         served = True
                         break  # re-evaluate: the tenant's next head may serve
                     gateway.queue.pop(tenant_name)
@@ -456,8 +523,7 @@ class MultiTenantTrafficEngine:
                             # order: gateway bookkeeping and re-dispatch.
                             gateway.release(state.function, replica.deployed)
                             replica.idle_since = completion
-                            state.records.append(record)
-                            run_state["remaining"] -= 1
+                            finish(state, record, node=replica.deployed.node_name)
                             dispatch(loop.now)
 
                         return join
@@ -485,7 +551,8 @@ class MultiTenantTrafficEngine:
                 deadline=request.deadline_s,
             )
             if not admitted:
-                state.records.append(
+                finish(
+                    state,
                     RequestRecord(
                         request_id=request.request_id,
                         function=state.function,
@@ -493,9 +560,8 @@ class MultiTenantTrafficEngine:
                         arrival_s=request.arrival_s,
                         request_class=request.request_class,
                         deadline_s=request.deadline_s,
-                    )
+                    ),
                 )
-                run_state["remaining"] -= 1
                 return
             loop.schedule_at(
                 request.arrival_s + self.config.queue_timeout_s,
@@ -508,7 +574,8 @@ class MultiTenantTrafficEngine:
             """Time out a request still waiting when its patience ran out."""
             if not gateway.queue.cancel(state.name, request.request_id):
                 return
-            state.records.append(
+            finish(
+                state,
                 RequestRecord(
                     request_id=request.request_id,
                     function=state.function,
@@ -516,9 +583,8 @@ class MultiTenantTrafficEngine:
                     arrival_s=request.arrival_s,
                     request_class=request.request_class,
                     deadline_s=request.deadline_s,
-                )
+                ),
             )
-            run_state["remaining"] -= 1
             note(loop.now)
 
         def control_tick(state: _TenantState) -> None:
@@ -539,6 +605,17 @@ class MultiTenantTrafficEngine:
                 service_time_s=estimate if estimate is not None else 0.0,
             )
             decision = state.autoscaler.evaluate(sample)
+            if telemetry is not None:
+                forecast = getattr(state.autoscaler.policy, "forecast_rps", None)
+                telemetry.on_tick(
+                    state.name, sample, forecast() if callable(forecast) else None
+                )
+                if telemetry.progress is not None:
+                    telemetry.on_progress(
+                        now,
+                        total_requests - run_state["remaining"],
+                        sum(len(s.replicas) for s in states),
+                    )
             if decision.scale_up:
                 add_replicas(
                     state,
@@ -570,13 +647,22 @@ class MultiTenantTrafficEngine:
                 ),
                 key=lambda replica: replica.idle_since,
             )
-            for replica in idle[:count]:
+            removed = idle[:count]
+            for replica in removed:
                 gateway.remove_replica(state.function, replica.deployed)
                 state.replicas.remove(replica)
                 del state.by_name[replica.deployed.name]
+            if telemetry is not None and removed:
+                telemetry.on_scale(state.name, -len(removed), len(state.replicas), now)
 
         # Bootstrap: initial pools (arbitrated like autoscaled growth),
         # arrival events in deterministic order, one control loop per tenant.
+        if telemetry is not None:
+            last_arrival_hint = max(
+                (request.arrival_s for state in states for request in state.requests),
+                default=0.0,
+            )
+            telemetry.on_run_start(total_requests, duration_hint_s=last_arrival_hint)
         for state in states:
             if self.config.initial_replicas:
                 add_replicas(
@@ -619,6 +705,14 @@ class MultiTenantTrafficEngine:
             default=0.0,
         )
         duration = max(run_state["last_event_s"], last_arrival)
+        if telemetry is not None:
+            telemetry.observe_queue_stats(gateway.queue.all_stats())
+            telemetry.observe_node_usage(self._node_usage(gateway))
+            telemetry.on_run_end(
+                duration,
+                total_requests,
+                sum(len(state.replicas) for state in states),
+            )
         return self._summarize(states, duration, gateway)
 
     # -- summaries -------------------------------------------------------------------
@@ -629,34 +723,68 @@ class MultiTenantTrafficEngine:
         duration: float,
         gateway: IngressGateway,
     ) -> MultiTenantSummary:
+        from repro.obs.spans import waterfall_from_records
+
         tenants: Dict[str, TrafficSummary] = {}
         all_records: List[RequestRecord] = []
         declared_union: List[str] = []
+        waterfall: List[WaterfallRow] = []
+        retain = self.config.retain_records
         for state in states:
-            state.records.sort(key=lambda record: record.request_id)
-            self.records[state.name] = state.records
-            all_records.extend(state.records)
             declared_union.extend(state.spec.class_names)
-            tenants[state.name] = summarize(
-                mode=state.spec.mode,
-                pattern=state.spec.pattern_name,
+            if retain:
+                state.records.sort(key=lambda record: record.request_id)
+                self.records[state.name] = state.records
+                all_records.extend(state.records)
+                tenants[state.name] = summarize(
+                    mode=state.spec.mode,
+                    pattern=state.spec.pattern_name,
+                    duration_s=duration,
+                    records=state.records,
+                    cold_starts=state.cold_starts,
+                    cold_start_seconds=state.cold_start_seconds,
+                    replica_timeline=state.timeline,
+                    declared_classes=state.spec.class_names,
+                )
+                waterfall.extend(waterfall_from_records(state.name, state.records))
+            else:
+                self.records[state.name] = []
+                tenants[state.name] = state.stream.summary(
+                    mode=state.spec.mode,
+                    pattern=state.spec.pattern_name,
+                    duration_s=duration,
+                    cold_starts=state.cold_starts,
+                    cold_start_seconds=state.cold_start_seconds,
+                    replica_timeline=state.timeline,
+                    declared_classes=state.spec.class_names,
+                )
+                waterfall.extend(state.stream.waterfall(state.name))
+        if retain:
+            cluster = summarize(
+                mode="cluster",
+                pattern="multi-tenant",
                 duration_s=duration,
-                records=state.records,
-                cold_starts=state.cold_starts,
-                cold_start_seconds=state.cold_start_seconds,
-                replica_timeline=state.timeline,
-                declared_classes=state.spec.class_names,
+                records=all_records,
+                cold_starts=sum(state.cold_starts for state in states),
+                cold_start_seconds=sum(state.cold_start_seconds for state in states),
+                replica_timeline=_merge_timelines([state.timeline for state in states]),
+                declared_classes=sorted(set(declared_union)),
             )
-        cluster = summarize(
-            mode="cluster",
-            pattern="multi-tenant",
-            duration_s=duration,
-            records=all_records,
-            cold_starts=sum(state.cold_starts for state in states),
-            cold_start_seconds=sum(state.cold_start_seconds for state in states),
-            replica_timeline=_merge_timelines([state.timeline for state in states]),
-            declared_classes=sorted(set(declared_union)),
-        )
+            if len(states) > 1:
+                waterfall.extend(waterfall_from_records("cluster", all_records))
+        else:
+            cluster = self._cluster_stream.summary(
+                mode="cluster",
+                pattern="multi-tenant",
+                duration_s=duration,
+                cold_starts=sum(state.cold_starts for state in states),
+                cold_start_seconds=sum(state.cold_start_seconds for state in states),
+                replica_timeline=_merge_timelines([state.timeline for state in states]),
+                declared_classes=sorted(set(declared_union)),
+            )
+            if len(states) > 1:
+                waterfall.extend(self._cluster_stream.waterfall("cluster"))
+        self.waterfall = waterfall
         return MultiTenantSummary(
             fairness=self.fairness.value,
             weights=gateway.queue.weights(),
@@ -760,6 +888,7 @@ class TrafficEngine:
         autoscaler: Optional[Autoscaler] = None,
         config: Optional[TrafficConfig] = None,
         intra: IntraTenantOrder = IntraTenantOrder.FIFO,
+        telemetry: Optional[Telemetry] = None,
     ) -> None:
         if mode not in TRAFFIC_MODES:
             raise TrafficEngineError(
@@ -769,7 +898,9 @@ class TrafficEngine:
         self.config = config or TrafficConfig()
         self.autoscaler = autoscaler or Autoscaler(TargetConcurrencyPolicy(1.0))
         self.intra = intra
+        self.telemetry = telemetry
         self.records: List[RequestRecord] = []
+        self.waterfall: List[WaterfallRow] = []
         self.clock = SimClock()
         self._service_cache: Dict[Tuple[str, int], float] = {}
 
@@ -802,10 +933,17 @@ class TrafficEngine:
             oversubscription=1.0,  # replicas beyond the cores could never serve
             service_cache=self._service_cache,
             intra=self.intra,
+            telemetry=self.telemetry,
         )
         engine.clock = self.clock  # one simulated timeline across runs
         result = engine.run()
         self.records = engine.records["tenant-1"]
+        # Relabel the internal tenant's waterfall rows with the mode name.
+        self.waterfall = [
+            replace(row, label=self.mode)
+            for row in engine.waterfall
+            if row.label == "tenant-1"
+        ]
         return result.tenants["tenant-1"]
 
 
@@ -816,14 +954,20 @@ def _run_single_mode(
     config: Optional[TrafficConfig],
     pattern: str,
     intra: IntraTenantOrder,
-) -> TrafficSummary:
+    telemetry: Optional[Telemetry] = None,
+) -> Tuple[TrafficSummary, List[RequestRecord], List[WaterfallRow]]:
     """One mode's complete simulation — the unit of process-level parallelism.
 
     Module-level and built from plain data, so a worker process can run an
     entire cluster (nodes, ledger shards, clock and all) independently.
+    Returns the summary plus the run's records and waterfall rows, which
+    pickle back to the parent alongside it.
     """
-    engine = TrafficEngine(mode, autoscaler=autoscaler, config=config, intra=intra)
-    return engine.run(requests, pattern=pattern)
+    engine = TrafficEngine(
+        mode, autoscaler=autoscaler, config=config, intra=intra, telemetry=telemetry
+    )
+    summary = engine.run(requests, pattern=pattern)
+    return summary, engine.records, engine.waterfall
 
 
 def run_comparison(
@@ -834,6 +978,9 @@ def run_comparison(
     pattern: str = "trace",
     intra: IntraTenantOrder = IntraTenantOrder.FIFO,
     parallel: bool = False,
+    telemetry_factory: Optional[Callable[[str], Telemetry]] = None,
+    records_out: Optional[Dict[str, List[RequestRecord]]] = None,
+    waterfalls_out: Optional[Dict[str, List[WaterfallRow]]] = None,
 ) -> Dict[str, TrafficSummary]:
     """Run the *same* arrival stream against several runtimes.
 
@@ -844,7 +991,17 @@ def run_comparison(
     own cluster, per-node ledger shards and clock) runs in a worker
     process; results are identical to the serial comparison because every
     run is independent and seeded.
+
+    ``telemetry_factory`` builds one :class:`~repro.obs.telemetry.Telemetry`
+    per mode (called with the mode name); its sinks hold open file handles,
+    so it requires the serial path.  ``records_out`` / ``waterfalls_out``
+    collect each mode's per-request records and waterfall rows.
     """
+    if telemetry_factory is not None and parallel:
+        raise TrafficEngineError(
+            "telemetry sinks cannot cross process boundaries; "
+            "run the comparison serially to attach telemetry"
+        )
     ordered = tuple(sorted(requests, key=lambda r: (r.arrival_s, r.request_id)))
     jobs = [
         (
@@ -854,11 +1011,19 @@ def run_comparison(
             config,
             pattern,
             intra,
+            telemetry_factory(mode) if telemetry_factory else None,
         )
         for mode in modes
     ]
     if parallel:
-        summaries = parallel_map(_run_single_mode, jobs)
+        results = parallel_map(_run_single_mode, jobs)
     else:
-        summaries = [_run_single_mode(*job) for job in jobs]
-    return {mode: summary for mode, summary in zip(modes, summaries)}
+        results = [_run_single_mode(*job) for job in jobs]
+    summaries: Dict[str, TrafficSummary] = {}
+    for mode, (summary, records, waterfall) in zip(modes, results):
+        summaries[mode] = summary
+        if records_out is not None:
+            records_out[mode] = records
+        if waterfalls_out is not None:
+            waterfalls_out[mode] = waterfall
+    return summaries

@@ -12,11 +12,14 @@ scaling policies.
 
 from __future__ import annotations
 
-from typing import Dict, List, Mapping, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, List, Mapping, Sequence, Tuple
 
 from repro.metrics.report import format_latency_summaries, format_table
 from repro.traffic.slo import TrafficSummary
 from repro.traffic.tenants import MultiTenantSummary
+
+if TYPE_CHECKING:  # pragma: no cover - type-only; repro.obs imports this package
+    from repro.obs.spans import WaterfallRow
 
 
 def render_summary_table(
@@ -126,7 +129,11 @@ def render_class_table(
     title: str = "Scheduling classes",
     label: str = "tenant",
 ) -> str:
-    """Per-class SLO attainment: one row per (tenant/mode, class)."""
+    """Per-class SLO attainment: one row per (tenant/mode, class).
+
+    A class with no completions has no latency distribution; its p50/p99
+    cells render as ``n/a`` rather than a misleading zero.
+    """
     headers = [
         label,
         "class",
@@ -153,13 +160,59 @@ def render_class_table(
             cls.deadline_met,
             cls.deadline_total,
             cls.deadline_met_ratio,
-            cls.latency.p50_s,
-            cls.latency.p99_s,
+            cls.latency.p50_s if cls.completed else "n/a",
+            cls.latency.p99_s if cls.completed else "n/a",
         ]
         for key, summary in results.items()
         for cls in summary.classes
     ]
     return format_table(headers, rows, title=title)
+
+
+def render_waterfall_table(
+    rows: Sequence["WaterfallRow"],
+    title: str = "Latency waterfall (where completed requests spent their time)",
+) -> str:
+    """The per-tenant/per-class stage decomposition of end-to-end latency.
+
+    One row per (tenant-or-mode, class): mean and p95 of the pure queue
+    wait, the cold-start wait, and the service time, plus the end-to-end
+    total they roll up into.  Rows come from
+    :func:`repro.obs.spans.waterfall_from_records` (exact) or the streaming
+    accumulators (sketch mode) — the table doesn't care which.
+    """
+    if not rows:
+        return "%s\n(no completed requests)" % title
+    headers = [
+        "scope",
+        "class",
+        "completed",
+        "queue mean (s)",
+        "queue p95 (s)",
+        "cold mean (s)",
+        "cold p95 (s)",
+        "service mean (s)",
+        "service p95 (s)",
+        "total mean (s)",
+        "total p95 (s)",
+    ]
+    table_rows = [
+        [
+            row.label,
+            row.request_class,
+            row.completed,
+            row.queue_mean_s,
+            row.queue_p95_s,
+            row.cold_mean_s,
+            row.cold_p95_s,
+            row.service_mean_s,
+            row.service_p95_s,
+            row.total_mean_s,
+            row.total_p95_s,
+        ]
+        for row in rows
+    ]
+    return format_table(headers, table_rows, title=title)
 
 
 def _has_class_structure(results: Mapping[str, TrafficSummary]) -> bool:

@@ -9,9 +9,13 @@ from repro.metrics.timeline import (
     TimelineError,
     charges_to_spans,
     export_chrome_trace,
+    export_traffic_trace,
     ledger_to_spans,
+    read_trace_events,
+    request_trace_events,
     spans_to_chrome_trace,
 )
+from repro.obs.spans import RequestTrace
 from repro.sim.ledger import CostCategory, CostLedger, CpuDomain
 from repro.workloads.generators import make_payload
 
@@ -60,3 +64,97 @@ def test_export_chrome_trace_for_a_real_transfer(tmp_path):
     names = {event["name"] for event in trace["traceEvents"] if event["ph"] == "X"}
     assert any("serialize" in name for name in names)
     assert any("wire" in name or "network" in str(name) for name in names)
+
+
+# -- request-lifecycle traces (repro.obs.spans -> Perfetto) --------------------------
+
+
+def _trace(request_id=1, node="node-0", dispatch_s=1.0, end_s=3.0,
+           cold_start_s=0.5, outcome="completed"):
+    return RequestTrace(
+        tenant="tenant-1",
+        request_id=request_id,
+        request_class="standard",
+        outcome=outcome,
+        arrival_s=0.0,
+        end_s=end_s,
+        dispatch_s=dispatch_s,
+        cold_start_s=cold_start_s,
+        node=node,
+        replica="replica-1",
+    )
+
+
+def test_request_trace_events_nest_stages_inside_request_track():
+    events = request_trace_events([_trace()])
+    async_events = [e for e in events if e["ph"] in ("b", "e")]
+    # One outer begin/end pair plus three stage pairs, all on the same track.
+    assert len(async_events) == 8
+    assert {e["id"] for e in async_events} == {"req-tenant-1-1"}
+    begins = [e for e in async_events if e["ph"] == "b"]
+    names = [e["name"] for e in begins]
+    assert names == ["req-tenant-1-1", "queue", "cold_start", "service"]
+    # Stage slices stay within the outer request slice.
+    outer_ts = begins[0]["ts"]
+    outer_end = [e for e in async_events if e["ph"] == "e"][-1]["ts"]
+    for event in async_events:
+        assert outer_ts <= event["ts"] <= outer_end
+
+
+def test_request_trace_events_span_ordering_is_lifecycle_order():
+    events = request_trace_events([_trace()])
+    stage_begins = [e for e in events if e["ph"] == "b" and e["name"] != "req-tenant-1-1"]
+    timestamps = [e["ts"] for e in stage_begins]
+    assert timestamps == sorted(timestamps)
+    # queue [0, 0.5], cold_start [0.5, 1.0], service [1.0, 3.0] in microseconds
+    assert timestamps == [0.0, pytest.approx(0.5e6), pytest.approx(1.0e6)]
+
+
+def test_one_perfetto_pid_per_node():
+    traces = [
+        _trace(request_id=1, node="node-0"),
+        _trace(request_id=2, node="node-1"),
+        _trace(request_id=3, node="node-0"),
+        _trace(request_id=4, node="", dispatch_s=None, end_s=2.0,
+               cold_start_s=0.0, outcome="dropped"),  # synthetic gateway lane
+    ]
+    events = request_trace_events(traces)
+    metadata = [e for e in events if e["ph"] == "M"]
+    lanes = {e["args"]["name"]: e["pid"] for e in metadata}
+    assert set(lanes) == {"traffic/node-0", "traffic/node-1", "traffic/gateway"}
+    assert len(set(lanes.values())) == 3  # distinct pids, one per node
+    for event in events:
+        if event["ph"] in ("b", "e") and "tenant-1-1" in str(event["id"]):
+            assert event["pid"] == lanes["traffic/node-0"]
+
+
+def test_zero_duration_stage_slices_survive_export():
+    # Dispatched on arrival with no cold start: queue and cold_start slices
+    # are zero-width but still present, so the waterfall and the timeline
+    # never disagree about stage counts.
+    trace = _trace(dispatch_s=0.0, cold_start_s=0.0, end_s=2.0)
+    events = request_trace_events([trace])
+    begins = {e["name"]: e["ts"] for e in events if e["ph"] == "b"}
+    ends = {e["name"]: e["ts"] for e in events if e["ph"] == "e"}
+    assert begins["queue"] == ends["queue"] == 0.0
+    assert begins["cold_start"] == ends["cold_start"] == 0.0
+    assert ends["service"] == pytest.approx(2.0e6)
+
+
+def test_traffic_trace_round_trip_with_ledger(tmp_path):
+    ledger = _ledger_with_charges()
+    traces = [_trace(request_id=1), _trace(request_id=2, node="node-1")]
+    path = export_traffic_trace(str(tmp_path / "trace.json"), traces, ledger=ledger)
+    events = read_trace_events(path)
+    async_events = [e for e in events if e["ph"] in ("b", "e")]
+    complete_events = [e for e in events if e["ph"] == "X"]
+    assert len(async_events) == 16  # two requests, four begin/end pairs each
+    assert len(complete_events) == 3  # the ledger charges ride along
+    # Ledger lanes are offset past request lanes: no pid collision.
+    request_pids = {e["pid"] for e in async_events}
+    ledger_pids = {e["pid"] for e in complete_events}
+    assert request_pids.isdisjoint(ledger_pids)
+    # Args survive the round trip.
+    outer = [e for e in async_events if e["name"] == "req-tenant-1-1"][0]
+    assert outer["args"]["outcome"] == "completed"
+    assert outer["args"]["replica"] == "replica-1"

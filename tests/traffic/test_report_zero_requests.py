@@ -1,0 +1,80 @@
+"""Regression: zero-request tenants/classes render ``n/a``, never fake zeros.
+
+A declared scheduling class (or a starved tenant) that completed nothing has
+no latency distribution.  Before the guard, summarizing it either crashed on
+an empty-percentile call or printed 0.0s latencies that read as "instant".
+"""
+
+import pytest
+
+from repro.metrics.report import format_latency_summaries
+from repro.metrics.stats import LatencySummary
+from repro.obs.streaming import StreamingTrafficStats
+from repro.traffic.report import (
+    render_class_table,
+    render_traffic_report,
+    render_waterfall_table,
+)
+from repro.traffic.slo import summarize
+
+
+def empty_summary(mode="roadrunner-user"):
+    # Zero records with a declared class: the shape a starved tenant produces.
+    return summarize(
+        mode=mode,
+        pattern="poisson",
+        duration_s=10.0,
+        records=[],
+        declared_classes=["interactive", "batch"],
+    )
+
+
+def test_summarize_zero_records_does_not_crash():
+    summary = empty_summary()
+    assert summary.offered == 0
+    assert summary.latency.count == 0
+    assert {cls.name for cls in summary.classes} == {"interactive", "batch"}
+    for cls in summary.classes:
+        assert cls.completed == 0
+        assert cls.latency.count == 0
+
+
+def test_class_table_renders_na_for_zero_completion_classes():
+    table = render_class_table({"tenant-1": empty_summary()})
+    assert "n/a" in table
+    for line in table.splitlines():
+        if "interactive" in line or "batch" in line:
+            assert line.rstrip().endswith("n/a")
+
+
+def test_latency_summaries_render_na_for_empty_distributions():
+    table = format_latency_summaries(
+        {"starved": LatencySummary.empty(), "served": LatencySummary.from_samples([0.5])}
+    )
+    starved_row = next(line for line in table.splitlines() if "starved" in line)
+    assert starved_row.count("n/a") == 5  # mean, p50, p95, p99, max
+    served_row = next(line for line in table.splitlines() if "served" in line)
+    assert "n/a" not in served_row
+
+
+def test_full_traffic_report_with_a_starved_mode():
+    report = render_traffic_report(
+        {"roadrunner-user": empty_summary()}
+    )
+    assert "n/a" in report
+    assert "0.0" not in report.split("Queueing delay")[-1].splitlines()[2]
+
+
+def test_streaming_summary_zero_records_matches_exact_shape():
+    stream = StreamingTrafficStats(declared_classes=["interactive", "batch"])
+    summary = stream.summary(
+        mode="roadrunner-user", pattern="poisson", duration_s=10.0
+    )
+    exact = empty_summary()
+    assert summary.offered == exact.offered == 0
+    assert summary.latency.count == exact.latency.count == 0
+    assert [cls.name for cls in summary.classes] == [c.name for c in exact.classes]
+
+
+def test_waterfall_table_with_no_completed_requests():
+    assert "(no completed requests)" in render_waterfall_table([])
