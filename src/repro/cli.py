@@ -11,6 +11,9 @@ Commands
               several runtimes with autoscaling and print the SLO report;
               with ``--tenants`` drive several tenants concurrently over one
               shared cluster with weighted fair queueing at the gateway;
+              with ``--middleware`` thread every request through a composable
+              gateway pipeline (auth / rate-limit / cache / coalesce /
+              hedge) and print per-stage counters;
               with ``--classes`` stamp deadline/priority scheduling classes
               onto the stream (EDF dispatch within a tenant's queue); with
               ``--compare-policies`` run the same seeded arrivals under
@@ -34,6 +37,12 @@ from typing import Dict, List, Optional
 import repro
 from repro.experiments.claims import evaluate_claims, render_claims
 from repro.experiments.runner import render_all, run_all
+from repro.gateway.middleware import (
+    STAGE_NAMES,
+    MiddlewareError,
+    MiddlewarePipeline,
+    build_pipeline,
+)
 from repro.metrics.export import (
     multi_tenant_to_figure,
     node_usage_to_figure,
@@ -73,6 +82,7 @@ from repro.traffic.policies import (
     policy_cluster_summaries,
 )
 from repro.traffic.report import (
+    render_middleware_table,
     render_multi_tenant_report,
     render_policy_comparison,
     render_traffic_report,
@@ -175,6 +185,36 @@ def _autoscaler_factory(args: argparse.Namespace, policy_name: str):
     )
 
 
+def _build_middleware(args: argparse.Namespace) -> Optional[MiddlewarePipeline]:
+    """One fresh gateway pipeline from ``--middleware cache,coalesce,...``.
+
+    Returns ``None`` when no stages were requested, so pipeline-free runs
+    take exactly the pre-middleware code path (byte-identical output).
+    Called once per compared mode: stage state (cache entries, token
+    buckets, hedge RNG) must never leak across runs.
+    """
+    names = [name.strip() for name in (args.middleware or "").split(",") if name.strip()]
+    if not names:
+        return None
+    allow = None
+    if args.auth_allow:
+        allow = [t.strip() for t in args.auth_allow.split(",") if t.strip()]
+    return build_pipeline(
+        names,
+        cache_ttl_s=args.cache_ttl,
+        cache_capacity=args.cache_capacity,
+        cache_hit_latency_s=args.cache_hit_latency,
+        rate_limit_rps=args.rate_limit_rps,
+        rate_limit_burst=args.rate_limit_burst,
+        hedge_budget_s=args.hedge_budget,
+        hedge_straggler_prob=args.hedge_straggler_prob,
+        hedge_straggler_factor=args.hedge_straggler_factor,
+        hedge_seed=args.seed,
+        auth_allow=allow,
+        auth_quota=args.auth_quota,
+    )
+
+
 def _intra_order(args: argparse.Namespace, classes_in_play: bool) -> IntraTenantOrder:
     """EDF when classes are in play, unless --class-order pins it."""
     if args.class_order:
@@ -255,6 +295,11 @@ def _cmd_traffic(args: argparse.Namespace) -> int:
     except RequestClassError as exc:
         print("invalid --classes: %s" % exc, file=sys.stderr)
         return 2
+    try:
+        _build_middleware(args)  # validate stage names before any run starts
+    except MiddlewareError as exc:
+        print("invalid --middleware: %s" % exc, file=sys.stderr)
+        return 2
     started_wall = time.time()
     intra = _intra_order(args, bool(classes))
     policy_name = args.scaling_policy or args.policy
@@ -273,6 +318,12 @@ def _cmd_traffic(args: argparse.Namespace) -> int:
             print(
                 "note: --metrics-out/--trace-out/--events-out/--progress are not "
                 "wired into --compare-policies runs; ignoring them",
+                file=sys.stderr,
+            )
+        if args.middleware:
+            print(
+                "note: --middleware is not wired into --compare-policies runs; "
+                "ignoring it",
                 file=sys.stderr,
             )
         return _cmd_compare_policies(args, classes, config_kwargs)
@@ -306,6 +357,7 @@ def _cmd_traffic(args: argparse.Namespace) -> int:
                 oversubscription=args.oversubscription,
                 intra=intra,
                 telemetry=telemetry,
+                middleware=_build_middleware(args),
             )
             result = engine.run()
         except (ValueError, TenantError, TrafficEngineError) as exc:
@@ -357,6 +409,7 @@ def _cmd_traffic(args: argparse.Namespace) -> int:
         return telemetries[mode]
 
     waterfalls: Dict[str, List] = {}
+    middleware_stats: Dict[str, Dict[str, Dict[str, int]]] = {}
     try:
         requests = _make_arrivals(args).generate()
         if classes:
@@ -373,11 +426,21 @@ def _cmd_traffic(args: argparse.Namespace) -> int:
             parallel=args.parallel_nodes and not wants_telemetry,
             telemetry_factory=telemetry_for if wants_telemetry else None,
             waterfalls_out=waterfalls,
+            middleware_factory=(lambda mode: _build_middleware(args)) if args.middleware else None,
+            middleware_out=middleware_stats,
         )
     except (ValueError, TrafficEngineError) as exc:
         print("invalid traffic parameters: %s" % exc, file=sys.stderr)
         return 2
     print(render_traffic_report(results))
+    for mode in modes:
+        stats = middleware_stats.get(mode, {})
+        if any(stats.values()):
+            print()
+            title = "Gateway middleware (per-stage counters)"
+            if len(modes) > 1:
+                title += " — %s" % mode
+            print(render_middleware_table(stats, title=title))
     waterfall_rows = [row for mode in modes for row in waterfalls.get(mode, [])]
     if waterfall_rows:
         print()
@@ -597,6 +660,58 @@ def build_parser() -> argparse.ArgumentParser:
     traffic.add_argument(
         "--oversubscription", type=float, default=2.0,
         help="multi-tenant: replica slots per core (pools overlap on cores above 1.0)",
+    )
+    traffic.add_argument(
+        "--middleware", metavar="LIST",
+        help="comma-separated gateway middleware stages threaded around every "
+        "request, in execution order (choose from %s): auth/quota rejection, "
+        "per-tenant token-bucket rate limiting, TTL response caching, "
+        "duplicate-request coalescing (N identical concurrent requests -> 1 "
+        "backend invocation), hedged retries near the latency budget.  "
+        "Per-stage counters are printed after the report and exported via "
+        "--metrics-out/--events-out" % ", ".join(STAGE_NAMES),
+    )
+    traffic.add_argument(
+        "--cache-ttl", type=float, default=60.0,
+        help="cache stage: seconds a cached response stays fresh",
+    )
+    traffic.add_argument(
+        "--cache-capacity", type=int, default=4096,
+        help="cache stage: max entries before LRU eviction",
+    )
+    traffic.add_argument(
+        "--cache-hit-latency", type=float, default=0.0,
+        help="cache stage: seconds a cache hit takes to serve",
+    )
+    traffic.add_argument(
+        "--rate-limit-rps", type=float, default=50.0,
+        help="rate-limit stage: sustained tokens per second per tenant",
+    )
+    traffic.add_argument(
+        "--rate-limit-burst", type=float, default=None,
+        help="rate-limit stage: bucket depth (default: one second of rate)",
+    )
+    traffic.add_argument(
+        "--hedge-budget", type=float, default=1.0,
+        help="hedge stage: latency budget (s); a second attempt fires on a "
+        "spare replica when the primary attempt threatens it",
+    )
+    traffic.add_argument(
+        "--hedge-straggler-prob", type=float, default=0.05,
+        help="hedge stage: fraction of attempts that straggle",
+    )
+    traffic.add_argument(
+        "--hedge-straggler-factor", type=float, default=4.0,
+        help="hedge stage: service-time multiplier for stragglers",
+    )
+    traffic.add_argument(
+        "--auth-allow", metavar="LIST",
+        help="auth stage: comma-separated tenants allowed through "
+        "(default: all tenants)",
+    )
+    traffic.add_argument(
+        "--auth-quota", type=int, default=None,
+        help="auth stage: max admitted requests per tenant for the whole run",
     )
     traffic.add_argument(
         "--sketch-mode", action="store_true",

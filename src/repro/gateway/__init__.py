@@ -1,0 +1,46 @@
+"""Gateway middleware: composable request policies at the platform ingress.
+
+The :class:`~repro.platform.gateway.IngressGateway` used to be the only
+place cross-cutting request policies could live, and each one grew into it
+as a special case.  This package factors that policy surface out into an
+ordered chain of small :class:`~repro.gateway.middleware.MiddlewareStage`
+objects threaded through a :class:`~repro.gateway.middleware.MiddlewarePipeline`
+— each stage can pass a request on, transform it, or short-circuit it with
+an immediate response, and owns its own operator-visible counters.
+"""
+
+from repro.gateway.middleware import (
+    STAGE_NAMES,
+    Admission,
+    AdmitAction,
+    AuthQuotaStage,
+    CoalesceStage,
+    DispatchPlan,
+    HedgeStage,
+    MiddlewareError,
+    MiddlewarePipeline,
+    MiddlewareStage,
+    RequestContext,
+    ResponseCacheStage,
+    TokenBucketStage,
+    build_pipeline,
+    response_key,
+)
+
+__all__ = [
+    "STAGE_NAMES",
+    "Admission",
+    "AdmitAction",
+    "AuthQuotaStage",
+    "CoalesceStage",
+    "DispatchPlan",
+    "HedgeStage",
+    "MiddlewareError",
+    "MiddlewarePipeline",
+    "MiddlewareStage",
+    "RequestContext",
+    "ResponseCacheStage",
+    "TokenBucketStage",
+    "build_pipeline",
+    "response_key",
+]

@@ -29,6 +29,10 @@ _TRAFFIC_LATENCY_PANELS = ("latency", "queueing", "service")
 _TRAFFIC_LATENCY_SERIES = ("count", "mean_s", "p50_s", "p95_s", "p99_s", "max_s")
 #: Counter panels: series -> TrafficSummary attribute.
 _TRAFFIC_VOLUME_SERIES = ("offered", "completed", "timed_out", "dropped", "shed")
+#: Middleware-resolved outcome counters: written only when some summary has
+#: a nonzero value, so pipeline-free exports keep their exact byte shape
+#: (and figures from before the middleware pipeline parse back fine).
+_TRAFFIC_MW_SERIES = ("cached", "coalesced", "rate_limited", "rejected")
 _TRAFFIC_SCALING_SERIES = (
     "cold_starts",
     "cold_start_seconds",
@@ -39,6 +43,7 @@ _TRAFFIC_SCALING_SERIES = (
 _TRAFFIC_INT_FIELDS = frozenset(
     {
         "offered", "completed", "timed_out", "dropped", "shed",
+        "cached", "coalesced", "rate_limited", "rejected",
         "cold_starts", "max_replicas", "count",
     }
 )
@@ -47,6 +52,9 @@ _TRAFFIC_CLASS_COUNTERS = (
     "offered", "completed", "timed_out", "dropped", "shed",
     "deadline_total", "deadline_met",
 )
+#: Counters added after traffic figures started being written: they parse
+#: leniently (default 0 when the series is absent) instead of raising.
+_LENIENT_COUNTERS = frozenset({"shed"}) | frozenset(_TRAFFIC_MW_SERIES)
 
 
 def figure_to_dict(result) -> Dict[str, Any]:
@@ -187,6 +195,9 @@ def traffic_to_figure(
     class_union: List[str] = sorted(
         {cls.name for summary in results.values() for cls in summary.classes}
     )
+    has_middleware = any(
+        getattr(summary, series) for summary in results.values() for series in _TRAFFIC_MW_SERIES
+    )
     empty_class = {name: ClassSummary(
         name=name, offered=0, completed=0, timed_out=0, dropped=0,
         deadline_total=0, deadline_met=0, latency=LatencySummary.empty(),
@@ -198,6 +209,9 @@ def traffic_to_figure(
                 result.add_point(panel, series, getattr(distribution, series))
         for series in _TRAFFIC_VOLUME_SERIES:
             result.add_point("volume", series, getattr(summary, series))
+        if has_middleware:
+            for series in _TRAFFIC_MW_SERIES:
+                result.add_point("volume", series, getattr(summary, series))
         for series in _TRAFFIC_SCALING_SERIES:
             result.add_point("scaling", series, getattr(summary, series))
         result.add_point("scaling", "goodput_rps", summary.goodput_rps)
@@ -210,6 +224,9 @@ def traffic_to_figure(
             cls = mine.get(name, empty_class[name])
             for series in _TRAFFIC_CLASS_COUNTERS:
                 result.add_point("classes", "%s/%s" % (name, series), getattr(cls, series))
+            if has_middleware:
+                for series in _TRAFFIC_MW_SERIES:
+                    result.add_point("classes", "%s/%s" % (name, series), getattr(cls, series))
             for series in _TRAFFIC_LATENCY_SERIES:
                 result.add_point(
                     "classes", "%s/latency_%s" % (name, series), getattr(cls.latency, series)
@@ -339,12 +356,13 @@ def traffic_from_figure(figure) -> Dict[str, Any]:
             raise ExportError("figure is missing traffic field %s/%s: %s" % (panel, series, exc))
 
     def pick_count(panel: str, series: str, index: int) -> int:
-        """The ``shed`` counter, defaulting to 0 when absent.
+        """A late-addition counter (``shed``, middleware), defaulting to 0.
 
         Only counters added *after* figures started being written get this
         leniency (figures from before hard-deadline admission control have
-        no ``shed`` series); a missing pre-existing counter still raises,
-        so corrupt figures keep failing loudly.
+        no ``shed`` series, and pipeline-free figures carry no middleware
+        series at all); a missing pre-existing counter still raises, so
+        corrupt figures keep failing loudly.
         """
         try:
             raw = pick_raw(panel, series, index)
@@ -371,10 +389,10 @@ def traffic_from_figure(figure) -> Dict[str, Any]:
             counters = {
                 series: (
                     pick_count("classes", "%s/%s" % (name, series), index)
-                    if series == "shed"
+                    if series in _LENIENT_COUNTERS
                     else int(float(pick_raw("classes", "%s/%s" % (name, series), index)))
                 )
-                for series in _TRAFFIC_CLASS_COUNTERS
+                for series in _TRAFFIC_CLASS_COUNTERS + _TRAFFIC_MW_SERIES
             }
             latency = LatencySummary(
                 **{
@@ -404,6 +422,10 @@ def traffic_from_figure(figure) -> Dict[str, Any]:
             timed_out=pick("volume", "timed_out", index),
             dropped=pick("volume", "dropped", index),
             shed=pick_count("volume", "shed", index),
+            cached=pick_count("volume", "cached", index),
+            coalesced=pick_count("volume", "coalesced", index),
+            rate_limited=pick_count("volume", "rate_limited", index),
+            rejected=pick_count("volume", "rejected", index),
             latency=distributions["latency"],
             queueing=distributions["queueing"],
             service=distributions["service"],

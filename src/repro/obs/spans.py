@@ -97,8 +97,8 @@ class RequestTrace:
         cls, tenant: str, record: RequestRecord, node: str = ""
     ) -> "RequestTrace":
         """Derive the trace from an SLO record (the engine's completion view)."""
-        if record.outcome is RequestOutcome.COMPLETED:
-            end = record.completion_s
+        if record.served:
+            end = record.completion_s  # cached/coalesced complete without dispatch
         elif record.outcome is RequestOutcome.TIMED_OUT and record.dispatch_s is None:
             end = record.arrival_s  # expiry offset is the engine's, not the record's
         else:

@@ -49,9 +49,16 @@ class _ClassStats:
     timed_out: int = 0
     dropped: int = 0
     shed: int = 0
+    cached: int = 0
+    coalesced: int = 0
+    rate_limited: int = 0
+    rejected: int = 0
     deadline_total: int = 0
     deadline_met: int = 0
     stages: StageSketches = field(default_factory=StageSketches)
+    #: Served latency (completed + cached + coalesced) — the stage sketches
+    #: stay completed-only so waterfalls keep their backend-stage meaning.
+    latency_served: QuantileSketch = field(default_factory=QuantileSketch)
 
     def observe(self, record: RequestRecord) -> None:
         self.offered += 1
@@ -64,6 +71,16 @@ class _ClassStats:
             self.dropped += 1
         elif record.outcome is RequestOutcome.SHED:
             self.shed += 1
+        elif record.outcome is RequestOutcome.CACHED:
+            self.cached += 1
+        elif record.outcome is RequestOutcome.COALESCED:
+            self.coalesced += 1
+        elif record.outcome is RequestOutcome.RATE_LIMITED:
+            self.rate_limited += 1
+        elif record.outcome is RequestOutcome.REJECTED:
+            self.rejected += 1
+        if record.served:
+            self.latency_served.observe(record.latency_s)
         if record.deadline_s is not None:
             self.deadline_total += 1
             if record.deadline_met:
@@ -77,9 +94,13 @@ class _ClassStats:
             timed_out=self.timed_out,
             dropped=self.dropped,
             shed=self.shed,
+            cached=self.cached,
+            coalesced=self.coalesced,
+            rate_limited=self.rate_limited,
+            rejected=self.rejected,
             deadline_total=self.deadline_total,
             deadline_met=self.deadline_met,
-            latency=self.stages.latency.summary(),
+            latency=self.latency_served.summary(),
         )
 
 
@@ -140,7 +161,11 @@ class StreamingTrafficStats:
             timed_out=totals.timed_out,
             dropped=totals.dropped,
             shed=totals.shed,
-            latency=self.stages.latency.summary(),
+            cached=totals.cached,
+            coalesced=totals.coalesced,
+            rate_limited=totals.rate_limited,
+            rejected=totals.rejected,
+            latency=totals.latency_served.summary(),
             queueing=self.stages.queueing.summary(),
             service=self.stages.service.summary(),
             cold_starts=cold_starts,

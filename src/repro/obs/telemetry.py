@@ -128,8 +128,11 @@ class Telemetry:
         """One request reached a terminal outcome; fan it out everywhere."""
         self._requests.labels(tenant=tenant, outcome=record.outcome.value).inc()
         trace = RequestTrace.from_record(tenant, record, node=node)
-        if record.outcome is RequestOutcome.COMPLETED:
+        if record.served:
+            # Cached/coalesced responses count toward client-observed latency
+            # even though they never produced backend stage durations.
             self._latency.labels(tenant=tenant).observe(record.latency_s)
+        if record.outcome is RequestOutcome.COMPLETED:
             for stage, _, duration in trace.stages():
                 self._stages.labels(tenant=tenant, stage=stage).observe(duration)
         if self.trace_log is not None:
@@ -143,8 +146,9 @@ class Telemetry:
                 "outcome": record.outcome.value,
                 "arrival_s": round(record.arrival_s, 9),
             }
-            if record.outcome is RequestOutcome.COMPLETED:
+            if record.served:
                 event["latency_s"] = round(record.latency_s, 9)
+            if record.outcome is RequestOutcome.COMPLETED:
                 event["queue_s"] = round(trace.queue_s, 9)
                 event["cold_start_s"] = round(trace.cold_start_s, 9)
                 event["service_s"] = round(trace.service_s, 9)
@@ -237,6 +241,30 @@ class Telemetry:
             dropped.labels(tenant=tenant).inc(tenant_stats.dropped)
             timed_out.labels(tenant=tenant).inc(tenant_stats.timed_out)
             shed.labels(tenant=tenant).inc(tenant_stats.shed)
+
+    def observe_middleware(self, stats: Mapping[str, Mapping[str, int]]) -> None:
+        """Fold the gateway pipeline's per-stage counters in (run end, once).
+
+        ``stats`` is :meth:`repro.gateway.MiddlewarePipeline.stats` — stage
+        name to its event counters (hits/misses, parked/fanned_out, fired/
+        won, rejected...).  Each becomes one labelled child of a single
+        counter family, so Prometheus scrapes and JSONL consumers see every
+        stage the same way.
+        """
+        if not stats:
+            return
+        events = self.registry.counter(
+            "repro_middleware_events_total",
+            help="Gateway middleware events, by stage and event type.",
+            labels=("stage", "event"),
+        )
+        for stage, counters in stats.items():
+            for event, count in counters.items():
+                events.labels(stage=stage, event=event).inc(count)
+            if self.events is not None:
+                payload: Dict[str, object] = {"event": "middleware", "stage": stage}
+                payload.update(counters)
+                self.events.emit(payload)
 
     def observe_node_usage(self, nodes: Mapping[str, object]) -> None:
         """Fold per-node ledger rollups into node gauges (run end, once)."""

@@ -38,12 +38,15 @@ import heapq
 import itertools
 import math
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Set
 
 from repro.platform.deployment import DeployedFunction
 from repro.platform.function import FunctionSpec
 from repro.platform.orchestrator import Orchestrator
 from repro.sim.ledger import CostCategory, CpuDomain
+
+if TYPE_CHECKING:  # imported lazily to keep platform free of traffic imports
+    from repro.gateway.middleware import MiddlewarePipeline
 
 
 class GatewayError(RuntimeError):
@@ -198,14 +201,22 @@ class FairQueue:
 
     # -- service-cost feedback -----------------------------------------------------
 
+    #: Floor for measured service costs: a zero-duration request (empty
+    #: payload, free cost model) is a legitimate measurement, but a zero
+    #: EWMA would make ``wfq-cost`` tags stop advancing entirely.
+    MIN_SERVICE_COST_S = 1e-9
+
     def record_service_cost(self, tenant: str, service_s: float) -> None:
         """Fold one measured service time into the tenant's cost EWMA.
 
         The engine calls this at dispatch, when the request's deterministic
         service time is known; later enqueues snapshot the updated estimate.
+        Zero-duration measurements clamp to :attr:`MIN_SERVICE_COST_S`
+        rather than raising — only a genuinely negative cost is an error.
         """
-        if service_s <= 0:
-            raise GatewayError("service cost must be positive, got %r" % service_s)
+        if service_s < 0:
+            raise GatewayError("service cost must be non-negative, got %r" % service_s)
+        service_s = max(service_s, self.MIN_SERVICE_COST_S)
         queue = self._require(tenant)
         if queue.cost_estimate is None:
             queue.cost_estimate = service_s
@@ -418,9 +429,14 @@ class IngressGateway:
         fairness: FairnessPolicy = FairnessPolicy.FIFO,
         starvation_guard: int = 32,
         intra: IntraTenantOrder = IntraTenantOrder.FIFO,
+        pipeline: Optional["MiddlewarePipeline"] = None,
     ) -> None:
         self.orchestrator = orchestrator
         self.policy = policy
+        #: Optional middleware chain (:mod:`repro.gateway.middleware`) the
+        #: traffic engine threads every request through.  ``None`` (or an
+        #: empty pipeline) leaves the request path exactly as before.
+        self.pipeline = pipeline
         #: Admission queues (per tenant); drivers register tenants and weights.
         self.queue = FairQueue(policy=fairness, starvation_guard=starvation_guard, intra=intra)
         self._pools: Dict[str, List[_ReplicaState]] = {}
@@ -552,7 +568,10 @@ class IngressGateway:
                 probe = pool[(cursor + offset) % len(pool)]
                 if id(probe) in eligible_ids:
                     state = probe
-                    self._round_robin_cursor[function] = cursor + offset + 1
+                    # Normalized modulo the pool: the raw cursor otherwise
+                    # grows one per request, forever, and overflows the
+                    # useful integer range on genuinely long runs.
+                    self._round_robin_cursor[function] = (cursor + offset + 1) % len(pool)
                     break
         else:
             state = min(candidates, key=lambda replica: replica.in_flight)
@@ -569,10 +588,20 @@ class IngressGateway:
         return state.deployed
 
     def release(self, function: str, deployed: DeployedFunction) -> None:
-        """Mark a routed request as finished (load-balancer bookkeeping)."""
+        """Mark a routed request as finished (load-balancer bookkeeping).
+
+        Releasing a replica that is not in the pool (a stale handle after
+        scale-down) or that has nothing in flight (a double release) raises:
+        both used to decay silently into corrupted in-flight accounting,
+        which the autoscaler then trusted.
+        """
         for state in self._require_pool(function):
             if state.deployed is deployed:
-                state.in_flight = max(0, state.in_flight - 1)
+                if state.in_flight <= 0:
+                    raise GatewayError(
+                        "replica %r has no requests in flight to release" % deployed.name
+                    )
+                state.in_flight -= 1
                 return
         raise GatewayError("replica %r does not belong to function %r" % (deployed.name, function))
 

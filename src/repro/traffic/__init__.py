@@ -86,6 +86,7 @@ from repro.traffic.policies import (
     policy_cluster_summaries,
 )
 from repro.traffic.slo import (
+    SERVED_OUTCOMES,
     ClassSummary,
     RequestOutcome,
     RequestRecord,
@@ -104,6 +105,7 @@ from repro.traffic.tenants import (
 )
 from repro.traffic.report import (
     render_class_table,
+    render_middleware_table,
     render_multi_tenant_report,
     render_policy_comparison,
     render_traffic_report,
@@ -149,6 +151,7 @@ __all__ = [
     "run_comparison",
     "RequestOutcome",
     "RequestRecord",
+    "SERVED_OUTCOMES",
     "TrafficSummary",
     "summarize",
     "FairnessPolicy",
@@ -162,6 +165,7 @@ __all__ = [
     "derived_seed",
     "parse_tenants",
     "render_traffic_report",
+    "render_middleware_table",
     "render_multi_tenant_report",
     "render_class_table",
     "render_policy_comparison",

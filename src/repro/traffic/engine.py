@@ -75,6 +75,7 @@ from repro.workloads.generators import make_payload
 if TYPE_CHECKING:  # pragma: no cover - runtime imports are lazy to avoid a
     # cycle: repro.obs.spans imports repro.traffic.slo, whose package
     # __init__ imports this module.
+    from repro.gateway.middleware import MiddlewarePipeline, RequestContext
     from repro.obs.spans import WaterfallRow
     from repro.obs.streaming import StreamingTrafficStats
     from repro.obs.telemetry import Telemetry
@@ -219,6 +220,7 @@ class MultiTenantTrafficEngine:
         service_cache: Optional[Dict[Tuple[str, int], float]] = None,
         intra: IntraTenantOrder = IntraTenantOrder.FIFO,
         telemetry: Optional[Telemetry] = None,
+        middleware: Optional[MiddlewarePipeline] = None,
     ) -> None:
         if not tenants:
             raise TrafficEngineError("need at least one tenant")
@@ -256,6 +258,13 @@ class MultiTenantTrafficEngine:
             service_cache if service_cache is not None else {}
         )
         self.telemetry = telemetry
+        #: Optional gateway middleware chain every request is threaded
+        #: through (:mod:`repro.gateway.middleware`).  ``None`` — or a
+        #: pipeline with no enabled stages — leaves the request path
+        #: byte-identical to a run without one.
+        self.middleware = middleware
+        #: Per-stage middleware counters of the last run ({} without one).
+        self.middleware_stats: Dict[str, Dict[str, int]] = {}
         #: Per-tenant records of the last run (sorted by request id).
         #: Empty lists in sketch mode — nothing is retained there.
         self.records: Dict[str, List[RequestRecord]] = {}
@@ -306,18 +315,24 @@ class MultiTenantTrafficEngine:
         for index in range(self.config.nodes):
             cluster.add_node("traffic-%d" % index)
         orchestrator = Orchestrator(cluster)
+        pipeline = self.middleware
         gateway = IngressGateway(
             orchestrator,
             policy=self.config.routing,
             fairness=self.fairness,
             starvation_guard=self.starvation_guard,
             intra=self.intra,
+            pipeline=pipeline,
         )
         for state in states:
             gateway.queue.register_tenant(state.name, state.spec.weight)
 
         loop = PartitionedEventLoop()
         by_tenant = {state.name: state for state in states}
+        #: In-pipeline requests: (tenant, request_id) -> RequestContext.
+        #: Parked requests (coalesced followers) live only here and in their
+        #: stage until the leader's completion fans them back out.
+        contexts: Dict[Tuple[str, int], "RequestContext"] = {}
         # Cores bound execution; replica *slots* may oversubscribe them.
         # With oversubscription 1.0 pools partition the cores and queueing
         # order is moot; above 1.0 pools overlap on cores and the fair
@@ -356,6 +371,26 @@ class MultiTenantTrafficEngine:
                         total_requests - run_state["remaining"],
                         sum(len(s.replicas) for s in states),
                     )
+
+        def resolve(state: _TenantState, record: RequestRecord, node: str = "") -> None:
+            """Account one terminal outcome, then unwind its middleware.
+
+            The pipeline's completion hooks run in reverse admission order
+            (cache fills, coalesce fan-out); any follow-on records they
+            release — parked duplicates resolved by this outcome — recurse
+            through the same funnel, so each follower is accounted exactly
+            like a request of its own.
+            """
+            finish(state, record, node)
+            if pipeline is None:
+                return
+            ctx = contexts.pop((state.name, record.request_id), None)
+            if ctx is None:
+                return
+            for follow_ctx, follow_record in pipeline.complete(ctx, record, loop.now):
+                if follow_record.completion_s is not None:
+                    note(follow_record.completion_s)
+                resolve(by_tenant[follow_ctx.tenant], follow_record, node)
 
         def pool_sizes() -> Dict[str, int]:
             return {state.name: len(state.replicas) for state in states}
@@ -463,7 +498,7 @@ class MultiTenantTrafficEngine:
                         and now + service > request.deadline_s
                     ):
                         gateway.queue.shed_head(tenant_name)
-                        finish(
+                        resolve(
                             state,
                             RequestRecord(
                                 request_id=request.request_id,
@@ -477,10 +512,47 @@ class MultiTenantTrafficEngine:
                         served = True
                         break  # re-evaluate: the tenant's next head may serve
                     gateway.queue.pop(tenant_name)
-                    deployed = gateway.route_among(
-                        state.function, [replica.deployed for replica in candidates]
-                    )
-                    replica = state.by_name[deployed.name]
+                    # Give the pipeline's dispatch hooks a say: the hedge
+                    # stage applies its seeded straggler jitter and decides
+                    # whether a backup attempt races on a spare replica.
+                    plan = None
+                    if pipeline is not None:
+                        ctx = contexts.get((tenant_name, request.request_id))
+                        if ctx is not None:
+                            plan = pipeline.plan_dispatch(
+                                ctx, now, service, spare_replica=len(candidates) > 1
+                            )
+                            service = plan.service_s
+                    loser: Optional[_Replica] = None
+                    if plan is not None and plan.hedged and len(candidates) > 1:
+                        deployed = gateway.route_among(
+                            state.function, [replica.deployed for replica in candidates]
+                        )
+                        primary = state.by_name[deployed.name]
+                        hedge_deployed = gateway.route_among(
+                            state.function,
+                            [
+                                replica.deployed
+                                for replica in candidates
+                                if replica.deployed is not deployed
+                            ],
+                        )
+                        hedge = state.by_name[hedge_deployed.name]
+                        primary_done, hedge_offset = plan.completion_offsets()
+                        # First finisher wins; the loser is cancelled (and
+                        # its replica released) at the winner's completion.
+                        if now + hedge_offset < now + primary_done:
+                            replica, loser = hedge, primary
+                            completion = now + hedge_offset
+                        else:
+                            replica, loser = primary, hedge
+                            completion = now + primary_done
+                    else:
+                        deployed = gateway.route_among(
+                            state.function, [replica.deployed for replica in candidates]
+                        )
+                        replica = state.by_name[deployed.name]
+                        completion = now + service
                     # Feed the measured service time back into the queue's
                     # per-tenant EWMA: later enqueues snapshot it as their
                     # wfq-cost tag advance, and the autoscaler reads it as
@@ -490,13 +562,13 @@ class MultiTenantTrafficEngine:
                     # its replica cold-start: the overlap of [arrival,
                     # dispatch] with the warm-up window, not the whole delay.
                     cold_wait = max(0.0, min(replica.cold_s, replica.ready_at - request.arrival_s))
-                    completion = now + service
                     note(completion)
 
                     def complete(
                         state: _TenantState = state,
                         request: Request = request,
                         replica: _Replica = replica,
+                        loser: Optional[_Replica] = loser,
                         dispatched: float = now,
                         completion: float = completion,
                         cold_wait: float = cold_wait,
@@ -523,7 +595,13 @@ class MultiTenantTrafficEngine:
                             # order: gateway bookkeeping and re-dispatch.
                             gateway.release(state.function, replica.deployed)
                             replica.idle_since = completion
-                            finish(state, record, node=replica.deployed.node_name)
+                            if loser is not None:
+                                # The hedge's losing attempt is cancelled
+                                # now: its replica frees the moment the
+                                # winner answers the client.
+                                gateway.release(state.function, loser.deployed)
+                                loser.idle_since = completion
+                            resolve(state, record, node=replica.deployed.node_name)
                             dispatch(loop.now)
 
                         return join
@@ -542,16 +620,51 @@ class MultiTenantTrafficEngine:
         def arrive(state: _TenantState, request: Request) -> None:
             note(request.arrival_s)
             state.arrivals_since_tick += 1
+            priority = request.priority
+            deadline = request.deadline_s
+            if pipeline is not None:
+                from repro.gateway.middleware import AdmitAction
+
+                ctx = pipeline.context(state.name, request)
+                decision = pipeline.admit(ctx, request.arrival_s)
+                contexts[(state.name, request.request_id)] = ctx
+                if decision.action is AdmitAction.SHORT_CIRCUIT:
+                    # Terminal at the gateway: a cache hit (served, with a
+                    # completion instant) or a refusal (rate limit / auth).
+                    completion = decision.completion_s
+                    if completion is not None:
+                        note(completion)
+                    resolve(
+                        state,
+                        RequestRecord(
+                            request_id=request.request_id,
+                            function=state.function,
+                            outcome=decision.outcome,
+                            arrival_s=request.arrival_s,
+                            completion_s=completion,
+                            request_class=request.request_class,
+                            deadline_s=request.deadline_s,
+                        ),
+                    )
+                    return
+                if decision.action is AdmitAction.PARK:
+                    # Parked behind an identical in-flight request: no queue
+                    # slot, no timeout event — the leader's completion (or
+                    # failure) resolves it through the pipeline unwind.
+                    return
+                # Transformed requests dispatch under their overridden keys.
+                priority = ctx.data.get("priority", priority)
+                deadline = ctx.data.get("deadline_s", deadline)
             admitted = gateway.queue.enqueue(
                 state.name,
                 request.request_id,
                 request,
                 limit=self.config.max_queue,
-                priority=request.priority,
-                deadline=request.deadline_s,
+                priority=priority,
+                deadline=deadline,
             )
             if not admitted:
-                finish(
+                resolve(
                     state,
                     RequestRecord(
                         request_id=request.request_id,
@@ -574,7 +687,7 @@ class MultiTenantTrafficEngine:
             """Time out a request still waiting when its patience ran out."""
             if not gateway.queue.cancel(state.name, request.request_id):
                 return
-            finish(
+            resolve(
                 state,
                 RequestRecord(
                     request_id=request.request_id,
@@ -705,7 +818,10 @@ class MultiTenantTrafficEngine:
             default=0.0,
         )
         duration = max(run_state["last_event_s"], last_arrival)
+        self.middleware_stats = pipeline.stats() if pipeline is not None else {}
         if telemetry is not None:
+            if self.middleware_stats:
+                telemetry.observe_middleware(self.middleware_stats)
             telemetry.observe_queue_stats(gateway.queue.all_stats())
             telemetry.observe_node_usage(self._node_usage(gateway))
             telemetry.on_run_end(
@@ -792,6 +908,7 @@ class MultiTenantTrafficEngine:
             cluster=cluster,
             queue_stats=gateway.queue.all_stats(),
             nodes=self._node_usage(gateway),
+            middleware=self.middleware_stats,
         )
 
     def _node_usage(self, gateway: IngressGateway) -> Dict[str, NodeUsage]:
@@ -889,6 +1006,7 @@ class TrafficEngine:
         config: Optional[TrafficConfig] = None,
         intra: IntraTenantOrder = IntraTenantOrder.FIFO,
         telemetry: Optional[Telemetry] = None,
+        middleware: Optional[MiddlewarePipeline] = None,
     ) -> None:
         if mode not in TRAFFIC_MODES:
             raise TrafficEngineError(
@@ -899,6 +1017,8 @@ class TrafficEngine:
         self.autoscaler = autoscaler or Autoscaler(TargetConcurrencyPolicy(1.0))
         self.intra = intra
         self.telemetry = telemetry
+        self.middleware = middleware
+        self.middleware_stats: Dict[str, Dict[str, int]] = {}
         self.records: List[RequestRecord] = []
         self.waterfall: List[WaterfallRow] = []
         self.clock = SimClock()
@@ -934,9 +1054,11 @@ class TrafficEngine:
             service_cache=self._service_cache,
             intra=self.intra,
             telemetry=self.telemetry,
+            middleware=self.middleware,
         )
         engine.clock = self.clock  # one simulated timeline across runs
         result = engine.run()
+        self.middleware_stats = engine.middleware_stats
         self.records = engine.records["tenant-1"]
         # Relabel the internal tenant's waterfall rows with the mode name.
         self.waterfall = [
@@ -955,19 +1077,25 @@ def _run_single_mode(
     pattern: str,
     intra: IntraTenantOrder,
     telemetry: Optional[Telemetry] = None,
-) -> Tuple[TrafficSummary, List[RequestRecord], List[WaterfallRow]]:
+    middleware: Optional[MiddlewarePipeline] = None,
+) -> Tuple[TrafficSummary, List[RequestRecord], List[WaterfallRow], Dict[str, Dict[str, int]]]:
     """One mode's complete simulation — the unit of process-level parallelism.
 
     Module-level and built from plain data, so a worker process can run an
     entire cluster (nodes, ledger shards, clock and all) independently.
-    Returns the summary plus the run's records and waterfall rows, which
-    pickle back to the parent alongside it.
+    Returns the summary plus the run's records, waterfall rows and
+    middleware counters, which pickle back to the parent alongside it.
     """
     engine = TrafficEngine(
-        mode, autoscaler=autoscaler, config=config, intra=intra, telemetry=telemetry
+        mode,
+        autoscaler=autoscaler,
+        config=config,
+        intra=intra,
+        telemetry=telemetry,
+        middleware=middleware,
     )
     summary = engine.run(requests, pattern=pattern)
-    return summary, engine.records, engine.waterfall
+    return summary, engine.records, engine.waterfall, engine.middleware_stats
 
 
 def run_comparison(
@@ -981,6 +1109,8 @@ def run_comparison(
     telemetry_factory: Optional[Callable[[str], Telemetry]] = None,
     records_out: Optional[Dict[str, List[RequestRecord]]] = None,
     waterfalls_out: Optional[Dict[str, List[WaterfallRow]]] = None,
+    middleware_factory: Optional[Callable[[str], MiddlewarePipeline]] = None,
+    middleware_out: Optional[Dict[str, Dict[str, Dict[str, int]]]] = None,
 ) -> Dict[str, TrafficSummary]:
     """Run the *same* arrival stream against several runtimes.
 
@@ -996,6 +1126,10 @@ def run_comparison(
     per mode (called with the mode name); its sinks hold open file handles,
     so it requires the serial path.  ``records_out`` / ``waterfalls_out``
     collect each mode's per-request records and waterfall rows.
+    ``middleware_factory`` builds one fresh
+    :class:`~repro.gateway.middleware.MiddlewarePipeline` per mode (stage
+    state like caches and token buckets must not leak between compared
+    runs); ``middleware_out`` collects each mode's per-stage counters.
     """
     if telemetry_factory is not None and parallel:
         raise TrafficEngineError(
@@ -1012,6 +1146,7 @@ def run_comparison(
             pattern,
             intra,
             telemetry_factory(mode) if telemetry_factory else None,
+            middleware_factory(mode) if middleware_factory else None,
         )
         for mode in modes
     ]
@@ -1020,10 +1155,12 @@ def run_comparison(
     else:
         results = [_run_single_mode(*job) for job in jobs]
     summaries: Dict[str, TrafficSummary] = {}
-    for mode, (summary, records, waterfall) in zip(modes, results):
+    for mode, (summary, records, waterfall, middleware_stats) in zip(modes, results):
         summaries[mode] = summary
         if records_out is not None:
             records_out[mode] = records
         if waterfalls_out is not None:
             waterfalls_out[mode] = waterfall
+        if middleware_out is not None:
+            middleware_out[mode] = middleware_stats
     return summaries

@@ -32,6 +32,7 @@ def render_summary_table(
     Rows are labelled by the mapping's keys — runtime modes for a
     comparison run, tenant names for a shared-cluster run.
     """
+    middleware = _has_middleware(results)
     headers = [
         label,
         "offered",
@@ -39,6 +40,12 @@ def render_summary_table(
         "timed out",
         "dropped",
         "shed",
+    ]
+    if middleware:
+        # Middleware columns appear only when a pipeline actually resolved
+        # requests, so pipeline-free reports keep their exact byte shape.
+        headers += ["cached", "coalesced", "rate limited", "rejected"]
+    headers += [
         "duration (s)",
         "goodput (rps)",
         "mean replicas",
@@ -46,14 +53,24 @@ def render_summary_table(
         "cold starts",
         "cold start (s)",
     ]
-    rows = [
-        [
+    rows = []
+    for key, summary in results.items():
+        row = [
             key,
             summary.offered,
             summary.completed,
             summary.timed_out,
             summary.dropped,
             summary.shed,
+        ]
+        if middleware:
+            row += [
+                summary.cached,
+                summary.coalesced,
+                summary.rate_limited,
+                summary.rejected,
+            ]
+        row += [
             summary.duration_s,
             summary.goodput_rps,
             summary.mean_replicas,
@@ -61,8 +78,7 @@ def render_summary_table(
             summary.cold_starts,
             summary.cold_start_seconds,
         ]
-        for key, summary in results.items()
-    ]
+        rows.append(row)
     return format_table(headers, rows, title=title)
 
 
@@ -223,6 +239,35 @@ def _has_class_structure(results: Mapping[str, TrafficSummary]) -> bool:
     )
 
 
+def _has_middleware(results: Mapping[str, TrafficSummary]) -> bool:
+    """Whether any run had requests resolved by gateway middleware."""
+    return any(
+        summary.cached or summary.coalesced or summary.rate_limited or summary.rejected
+        for summary in results.values()
+    )
+
+
+def render_middleware_table(
+    stats: Mapping[str, Mapping[str, int]],
+    title: str = "Gateway middleware (per-stage counters)",
+) -> str:
+    """Per-stage middleware counters: one row per (stage, event).
+
+    ``stats`` is :meth:`repro.gateway.MiddlewarePipeline.stats` (or the
+    engine's ``middleware_stats``): stages in registration order, each
+    mapping event names (hits, misses, parked, fired...) to counts.
+    """
+    headers = ["stage", "event", "count"]
+    rows = [
+        [stage, event, count]
+        for stage, counters in stats.items()
+        for event, count in counters.items()
+    ]
+    if not rows:
+        return "%s\n(no middleware events)" % title
+    return format_table(headers, rows, title=title)
+
+
 def render_policy_comparison(results: Mapping[str, TrafficSummary]) -> str:
     """The policy-comparison headline: SLO vs provisioning cost per policy."""
     headers = [
@@ -306,6 +351,8 @@ def render_multi_tenant_report(summary: MultiTenantSummary) -> str:
         render_fairness_table(summary),
         "",
     ]
+    if any(summary.middleware.values()):
+        parts.extend([render_middleware_table(summary.middleware), ""])
     if _has_class_structure(labelled):
         parts.extend([render_class_table(labelled), ""])
     parts.extend([

@@ -35,6 +35,18 @@ class RequestOutcome(enum.Enum):
     TIMED_OUT = "timed_out"   # waited in the queue past the admission timeout
     DROPPED = "dropped"       # rejected at admission (queue full)
     SHED = "shed"             # hard deadline unmeetable at dispatch (admission control)
+    CACHED = "cached"         # served from the gateway response cache, no backend work
+    COALESCED = "coalesced"   # served by fan-out from an identical in-flight request
+    RATE_LIMITED = "rate_limited"  # refused by the per-tenant token bucket
+    REJECTED = "rejected"     # refused by auth / quota middleware
+
+
+#: Outcomes where the client got a good response.  CACHED and COALESCED
+#: requests never touched a replica (no dispatch, no service time) but are
+#: every bit as served as a completed backend invocation.
+SERVED_OUTCOMES = frozenset(
+    {RequestOutcome.COMPLETED, RequestOutcome.CACHED, RequestOutcome.COALESCED}
+)
 
 
 @dataclass(frozen=True)
@@ -69,6 +81,23 @@ class RequestRecord:
                     "request %d times must be ordered: arrival=%r dispatch=%r completion=%r"
                     % (self.request_id, self.arrival_s, self.dispatch_s, self.completion_s)
                 )
+        elif self.outcome in SERVED_OUTCOMES:
+            # Cached / coalesced responses never reached a replica: no
+            # dispatch, but they still completed at a definite instant.
+            if self.completion_s is None:
+                raise SloError(
+                    "%s requests need a completion time" % self.outcome.value
+                )
+            if self.completion_s < self.arrival_s:
+                raise SloError(
+                    "request %d completed at %r before arriving at %r"
+                    % (self.request_id, self.completion_s, self.arrival_s)
+                )
+
+    @property
+    def served(self) -> bool:
+        """Whether the client got a good response (completed/cached/coalesced)."""
+        return self.outcome in SERVED_OUTCOMES
 
     @property
     def queueing_delay_s(self) -> float:
@@ -97,7 +126,7 @@ class RequestRecord:
         """
         if self.deadline_s is None:
             return None
-        return self.outcome is RequestOutcome.COMPLETED and self.completion_s <= self.deadline_s
+        return self.served and self.completion_s <= self.deadline_s
 
 
 @dataclass(frozen=True)
@@ -115,6 +144,16 @@ class ClassSummary:
     latency: LatencySummary
     #: Hard-deadline requests shed by admission control at dispatch time.
     shed: int = 0
+    #: Requests resolved by gateway middleware (zero unless a pipeline ran).
+    cached: int = 0
+    coalesced: int = 0
+    rate_limited: int = 0
+    rejected: int = 0
+
+    @property
+    def served(self) -> int:
+        """Requests that got a good response (completed + cached + coalesced)."""
+        return self.completed + self.cached + self.coalesced
 
     @property
     def deadline_missed(self) -> int:
@@ -141,21 +180,27 @@ def summarize_classes(
     summaries = []
     for name in names:
         mine = [record for record in records if record.request_class == name]
-        completed = [r for r in mine if r.outcome is RequestOutcome.COMPLETED]
+        served = [r for r in mine if r.served]
         with_deadline = [r for r in mine if r.deadline_s is not None]
         summaries.append(
             ClassSummary(
                 name=name,
                 offered=len(mine),
-                completed=len(completed),
+                completed=sum(1 for r in mine if r.outcome is RequestOutcome.COMPLETED),
                 timed_out=sum(1 for r in mine if r.outcome is RequestOutcome.TIMED_OUT),
                 dropped=sum(1 for r in mine if r.outcome is RequestOutcome.DROPPED),
                 shed=sum(1 for r in mine if r.outcome is RequestOutcome.SHED),
+                cached=sum(1 for r in mine if r.outcome is RequestOutcome.CACHED),
+                coalesced=sum(1 for r in mine if r.outcome is RequestOutcome.COALESCED),
+                rate_limited=sum(
+                    1 for r in mine if r.outcome is RequestOutcome.RATE_LIMITED
+                ),
+                rejected=sum(1 for r in mine if r.outcome is RequestOutcome.REJECTED),
                 deadline_total=len(with_deadline),
                 deadline_met=sum(1 for r in with_deadline if r.deadline_met),
                 latency=(
-                    LatencySummary.from_samples([r.latency_s for r in completed])
-                    if completed
+                    LatencySummary.from_samples([r.latency_s for r in served])
+                    if served
                     else LatencySummary.empty()
                 ),
             )
@@ -186,6 +231,16 @@ class TrafficSummary:
     classes: Tuple[ClassSummary, ...] = ()
     #: Hard-deadline requests shed by admission control at dispatch time.
     shed: int = 0
+    #: Requests resolved by gateway middleware (zero unless a pipeline ran).
+    cached: int = 0
+    coalesced: int = 0
+    rate_limited: int = 0
+    rejected: int = 0
+
+    @property
+    def served(self) -> int:
+        """Requests that got a good response (completed + cached + coalesced)."""
+        return self.completed + self.cached + self.coalesced
 
     @property
     def deadline_total(self) -> int:
@@ -205,16 +260,20 @@ class TrafficSummary:
 
     @property
     def goodput_rps(self) -> float:
-        """Completed requests per second of simulated run time."""
+        """Served requests per second of simulated run time."""
         if self.duration_s <= 0:
             return 0.0
-        return self.completed / self.duration_s
+        return self.served / self.duration_s
 
     @property
     def failure_fraction(self) -> float:
         if self.offered == 0:
             return 0.0
-        return (self.timed_out + self.dropped + self.shed) / self.offered
+        failed = (
+            self.timed_out + self.dropped + self.shed
+            + self.rate_limited + self.rejected
+        )
+        return failed / self.offered
 
     @property
     def mean_replicas(self) -> float:
@@ -238,15 +297,22 @@ def summarize(
     if duration_s <= 0:
         raise SloError("duration must be positive")
     completed = [r for r in records if r.outcome is RequestOutcome.COMPLETED]
+    served = [r for r in records if r.served]
     timed_out = sum(1 for r in records if r.outcome is RequestOutcome.TIMED_OUT)
     dropped = sum(1 for r in records if r.outcome is RequestOutcome.DROPPED)
     shed = sum(1 for r in records if r.outcome is RequestOutcome.SHED)
+    # End-to-end latency covers everything the client saw served (cache
+    # hits and coalesced responses included); queueing and service remain
+    # backend-only — middleware-resolved requests never held a replica.
+    if served:
+        latency = LatencySummary.from_samples([r.latency_s for r in served])
+    else:
+        latency = LatencySummary.empty()
     if completed:
-        latency = LatencySummary.from_samples([r.latency_s for r in completed])
         queueing = LatencySummary.from_samples([r.queueing_delay_s for r in completed])
         service = LatencySummary.from_samples([r.service_s for r in completed])
     else:
-        latency = queueing = service = LatencySummary.empty()
+        queueing = service = LatencySummary.empty()
     return TrafficSummary(
         mode=mode,
         pattern=pattern,
@@ -256,6 +322,12 @@ def summarize(
         timed_out=timed_out,
         dropped=dropped,
         shed=shed,
+        cached=sum(1 for r in records if r.outcome is RequestOutcome.CACHED),
+        coalesced=sum(1 for r in records if r.outcome is RequestOutcome.COALESCED),
+        rate_limited=sum(
+            1 for r in records if r.outcome is RequestOutcome.RATE_LIMITED
+        ),
+        rejected=sum(1 for r in records if r.outcome is RequestOutcome.REJECTED),
         latency=latency,
         queueing=queueing,
         service=service,

@@ -236,6 +236,8 @@ class MultiTenantSummary:
     queue_stats: Dict[str, TenantQueueStats] = field(default_factory=dict)
     #: Per-node cost rollups from the sharded cluster ledger, keyed by node.
     nodes: Dict[str, NodeUsage] = field(default_factory=dict)
+    #: Gateway middleware counters per stage ({} when no pipeline ran).
+    middleware: Dict[str, Dict[str, int]] = field(default_factory=dict)
 
     def tenant(self, name: str) -> TrafficSummary:
         if name not in self.tenants:

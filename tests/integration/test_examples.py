@@ -82,6 +82,17 @@ def test_deadline_classes_example_shows_edf_beating_fifo():
     assert edf_ratio > fifo_ratio
 
 
+def test_middleware_pipeline_example_collapses_the_herd():
+    output = _run_main(_load_example("middleware_pipeline.py"))
+    assert "Thundering herd" in output
+    assert "Gateway middleware (per-stage counters)" in output
+    assert "coalesce" in output and "fanned_out" in output
+    # The punchline: one backend invocation against the bare gateway's 100.
+    assert "100 backend invocations" in output
+    assert "1 backend invocation(s)" in output
+    assert "OK" in output
+
+
 def test_reproduce_paper_example_quick_run(monkeypatch):
     module = _load_example("reproduce_paper.py")
     monkeypatch.setattr(sys, "argv", ["reproduce_paper.py"])

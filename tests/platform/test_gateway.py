@@ -194,3 +194,66 @@ def test_route_among_requires_eligible_pool_members():
     assert chosen is replicas[0]
     with pytest.raises(GatewayError):
         gateway.route_among("worker", [])
+
+
+def test_route_over_emptied_pool_raises_gateway_error():
+    """A pool scaled to zero refuses routing with a GatewayError, not IndexError."""
+    _, _, gateway = _gateway()
+    replicas = gateway.register(_spec(), replicas=2, charge_cold_start=False)
+    for deployed in replicas:
+        gateway.remove_replica("worker", deployed)
+    with pytest.raises(GatewayError):
+        gateway.route("worker")
+    with pytest.raises(GatewayError):
+        gateway.route_among("worker", None)
+
+
+def test_double_release_raises_instead_of_corrupting_in_flight():
+    """Releasing more than was routed used to silently no-op; now it raises."""
+    _, _, gateway = _gateway()
+    gateway.register(_spec(), replicas=1, charge_cold_start=False)
+    chosen = gateway.route("worker")
+    gateway.release("worker", chosen)
+    with pytest.raises(GatewayError):
+        gateway.release("worker", chosen)
+    # Accounting stayed sane: the replica is idle, not negative.
+    assert gateway.in_flight("worker") == {chosen.name: 0}
+
+
+def test_release_after_scale_down_shrink_race_raises():
+    """The shrink race: a stale handle released after its replica was removed.
+
+    The driver routed to a replica, finished, released it, and the
+    autoscaler then reclaimed it.  A second (buggy) release of the stale
+    handle must raise instead of silently decrementing some other
+    replica's in-flight count.
+    """
+    _, _, gateway = _gateway()
+    replicas = gateway.register(_spec(), replicas=2, charge_cold_start=False)
+    stale = gateway.route_among("worker", replicas[:1])
+    gateway.release("worker", stale)
+    gateway.remove_replica("worker", stale)
+    with pytest.raises(GatewayError):
+        gateway.release("worker", stale)
+    # The surviving replica's accounting is untouched.
+    assert gateway.in_flight("worker") == {replicas[1].name: 0}
+
+
+def test_round_robin_cursor_stays_bounded_and_rotation_survives():
+    """The cursor normalizes modulo the pool instead of growing forever."""
+    _, _, gateway = _gateway()
+    gateway.register(_spec(), replicas=3, charge_cold_start=False)
+    for _ in range(1000):
+        chosen = gateway.route("worker")
+        gateway.release("worker", chosen)
+    assert 0 <= gateway._round_robin_cursor["worker"] < 3
+    # Rotation is still even after the long run.
+    assert set(gateway.served_per_replica("worker").values()) == {1000 // 3 + 1} or (
+        max(gateway.served_per_replica("worker").values())
+        - min(gateway.served_per_replica("worker").values())
+        <= 1
+    )
+    # The normalized cursor stays a valid index when the pool then grows.
+    gateway.register(_spec(), replicas=2, charge_cold_start=False)
+    seen = {gateway.route("worker").name for _ in range(5)}
+    assert len(seen) == 5  # one full rotation over the grown pool

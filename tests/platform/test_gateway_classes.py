@@ -146,7 +146,20 @@ def test_cost_estimate_is_an_ewma_of_recorded_services():
     queue.record_service_cost("t", 4.0)
     assert queue.cost_estimate("t") == pytest.approx(3.0)
     with pytest.raises(GatewayError):
-        queue.record_service_cost("t", 0.0)
+        queue.record_service_cost("t", -1.0)
+
+
+def test_zero_duration_service_cost_clamps_instead_of_crashing():
+    # Regression: a zero-cost request (empty payload / free cost model)
+    # used to raise GatewayError mid-dispatch.  It now clamps to a small
+    # epsilon so the EWMA stays positive and wfq-cost tags keep advancing.
+    queue = FairQueue(policy=FairnessPolicy.WFQ_COST, cost_alpha=0.5)
+    queue.register_tenant("t")
+    queue.record_service_cost("t", 0.0)
+    assert queue.cost_estimate("t") == pytest.approx(FairQueue.MIN_SERVICE_COST_S)
+    # Subsequent real measurements blend in normally.
+    queue.record_service_cost("t", 2.0)
+    assert queue.cost_estimate("t") == pytest.approx(1.0, rel=1e-6)
 
 
 def test_cost_weighted_tags_equalise_service_time_not_request_count():
