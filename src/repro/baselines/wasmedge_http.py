@@ -79,6 +79,9 @@ class WasmEdgeHttpChannel(DataPassingChannel):
             sender_in_wasm=True,
             receiver_in_wasm=True,
         )
+        # The sender-side WASI staging buffer dies once the kernel took the
+        # bytes; its release pairs with sock_send's copy_out allocation.
+        source.wasi.release_host_buffer(host_body)
 
         # 4. Copy the received body into the target VM through WASI (sock_recv).
         received_address = target.wasi.sock_recv(target_instance, response.body)

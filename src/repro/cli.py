@@ -311,6 +311,9 @@ def _cmd_traffic(args: argparse.Namespace) -> int:
         queue_timeout_s=args.timeout,
         parallel_nodes=args.parallel_nodes,
         retain_records=not args.sketch_mode,
+        node_memory_mb=args.node_memory_mb,
+        replica_rss_mb=args.replica_rss_mb,
+        pressure_knee=args.pressure_knee,
     )
 
     if args.compare_policies:
@@ -603,6 +606,27 @@ def build_parser() -> argparse.ArgumentParser:
         "same seeds",
     )
     traffic.add_argument("--timeout", type=float, default=30.0, help="queueing timeout per request")
+    traffic.add_argument(
+        "--node-memory-mb", type=float, default=0.0,
+        help="per-node RSS budget in MB; 0 (default) disables the memory "
+        "model entirely, keeping every output byte-identical to a "
+        "memory-free run.  With a budget, replicas carry their runtime "
+        "profile's RSS (or --replica-rss-mb / the tenant's rss_mb key), "
+        "keep-alives shrink under pressure, services inflate past the "
+        "knee, and the OOM evictor kills the coldest idle replica on an "
+        "over-budget node",
+    )
+    traffic.add_argument(
+        "--replica-rss-mb", type=float, default=None,
+        help="override the per-replica RSS (MB) for every tenant; default "
+        "is the runtime profile's baseline (container for runc-http, Wasm "
+        "otherwise)",
+    )
+    traffic.add_argument(
+        "--pressure-knee", type=float, default=0.85,
+        help="fraction of the node memory budget above which service "
+        "times inflate (only with --node-memory-mb)",
+    )
     traffic.add_argument(
         "--trace-file", metavar="PATH",
         help="replay an Azure Functions invocations-per-minute CSV as the "

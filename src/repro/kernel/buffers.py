@@ -11,10 +11,12 @@ copied buffer on the send side.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+from typing import Optional
 
 from repro.payload import Payload
 from repro.sim.costs import HOST_PAGE_SIZE
+from repro.sim.ledger import MemoryMeter
 
 
 class BufferError_(RuntimeError):
@@ -31,6 +33,11 @@ class KernelBuffer:
     copied: bool
     #: Label of the process or component that produced the buffer.
     producer: str = ""
+    #: Meter the buffer's kernel memory was charged to.  The charge follows
+    #: the buffer (splices move pages by reference, deliveries cross
+    #: processes), so the release must hit the same meter the allocation did
+    #: — not whichever process happens to consume the buffer.
+    owner: Optional[MemoryMeter] = field(default=None, repr=False, compare=False)
 
     @property
     def size(self) -> int:

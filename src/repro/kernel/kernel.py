@@ -9,7 +9,10 @@ every data path (HTTP baseline, Unix-socket IPC, spliced network transfer).
 from __future__ import annotations
 
 import itertools
-from typing import Dict, Optional
+from typing import TYPE_CHECKING, Dict, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (pipes import us)
+    from repro.kernel.buffers import KernelBuffer
 
 from repro.kernel.cgroups import Cgroup
 from repro.kernel.process import Process
@@ -163,10 +166,24 @@ class Kernel:
         process.charge_cpu(CpuDomain.KERNEL, seconds)
         return seconds
 
-    def kernel_buffer_memory(self, process: Process, payload: Payload, allocate: bool) -> None:
-        """Track kernel socket/pipe buffer memory against the process's meter."""
+    def track_kernel_buffer(self, process: Process, buffer: "KernelBuffer") -> None:
+        """Charge a kernel buffer's memory to the producing process's meter.
+
+        The buffer remembers which meter paid (``buffer.owner``), so however
+        many processes and kernel objects it later moves through — splices,
+        socket deliveries, pipe adoptions — the release hits the meter that
+        allocated.  A buffer that already has an owner is left alone: splice
+        moves the same pages by reference, it does not allocate new ones.
+        """
+        if buffer.owner is not None:
+            return
         meter: MemoryMeter = process.cgroup.memory
-        if allocate:
-            meter.allocate(payload.size)
-        else:
-            meter.free(payload.size)
+        meter.allocate(buffer.payload.size)
+        buffer.owner = meter
+
+    def release_kernel_buffer(self, buffer: "KernelBuffer") -> None:
+        """Release a kernel buffer's memory back to the meter that paid for it."""
+        if buffer.owner is None:
+            return
+        buffer.owner.free(buffer.payload.size)
+        buffer.owner = None

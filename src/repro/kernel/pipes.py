@@ -92,7 +92,7 @@ class Pipe:
         self.kernel.syscall(process, "read(%s)" % self.name,
                             count=self.kernel.cost_model.syscall_count(buffer.size))
         self.kernel.copy_kernel_to_user(process, buffer.size, label="pipe-read:%s" % self.name)
-        self.kernel.kernel_buffer_memory(process, buffer.payload, allocate=False)
+        self.kernel.release_kernel_buffer(buffer)
         self.total_bytes_out += buffer.size
         return buffer.payload
 
@@ -106,9 +106,13 @@ class Pipe:
         return buffer
 
     def pop_buffer(self, process: Process) -> KernelBuffer:
-        """Hand the next buffer to another kernel object (socket splice)."""
+        """Hand the next buffer to another kernel object (socket splice).
+
+        The buffer stays in kernel space, so its memory charge travels with
+        it (``buffer.owner``); the adopting object releases it when the
+        buffer finally leaves the kernel.
+        """
         buffer = self._pop()
-        self.kernel.kernel_buffer_memory(process, buffer.payload, allocate=False)
         self.total_bytes_out += buffer.size
         return buffer
 
@@ -142,12 +146,14 @@ class Pipe:
     def _push(self, buffer: KernelBuffer, process: Process) -> None:
         self._buffers.append(buffer)
         self.total_bytes_in += buffer.size
-        self.kernel.kernel_buffer_memory(process, buffer.payload, allocate=True)
+        self.kernel.track_kernel_buffer(process, buffer)
 
     def _adopt(self, buffer: KernelBuffer, process: Process) -> None:
         self._buffers.append(buffer)
         self.total_bytes_in += buffer.size
-        self.kernel.kernel_buffer_memory(process, buffer.payload, allocate=True)
+        # A spliced-in buffer that is already owned moves by reference: no
+        # new pages, no second charge.
+        self.kernel.track_kernel_buffer(process, buffer)
 
     def _pop(self) -> KernelBuffer:
         if not self._buffers:

@@ -84,7 +84,7 @@ class UnixSocketPair:
         )
         sender.charge_cpu(CpuDomain.KERNEL, half_copy)
         buffer = KernelBuffer(payload=payload.copy(), copied=True, producer=sender.name)
-        self.kernel.kernel_buffer_memory(sender, buffer.payload, allocate=True)
+        self.kernel.track_kernel_buffer(sender, buffer)
         self._queue.append(buffer)
         self.copied_bytes += payload.size
 
@@ -107,7 +107,9 @@ class UnixSocketPair:
             label="uds-recv:%s" % self.name,
         )
         receiver.charge_cpu(CpuDomain.KERNEL, half_copy)
-        self.kernel.kernel_buffer_memory(receiver, buffer.payload, allocate=False)
+        # Release against the meter that allocated (the sender's): the old
+        # receiver-side free charged the wrong process's accounting.
+        self.kernel.release_kernel_buffer(buffer)
         self.copied_bytes += buffer.size
         return buffer.payload
 
@@ -227,7 +229,12 @@ class TcpConnection:
         if not self._in_flight:
             raise SocketError("recv on connection %r with nothing in flight" % self.name)
         self.target_kernel.context_switch(receiver)
-        return self._in_flight.popleft()
+        buffer = self._in_flight.popleft()
+        # Delivery retires the source-side buffer: whatever meter was charged
+        # when the bytes entered kernel space (a spliced pipe buffer keeps
+        # its owner across the wire) is released now.
+        self.target_kernel.release_kernel_buffer(buffer)
+        return buffer
 
     @property
     def pending(self) -> int:

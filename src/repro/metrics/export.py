@@ -33,6 +33,11 @@ _TRAFFIC_VOLUME_SERIES = ("offered", "completed", "timed_out", "dropped", "shed"
 #: a nonzero value, so pipeline-free exports keep their exact byte shape
 #: (and figures from before the middleware pipeline parse back fine).
 _TRAFFIC_MW_SERIES = ("cached", "coalesced", "rate_limited", "rejected")
+#: Memory-economics series: written only when a memory model ran (some
+#: summary accrued RSS-seconds, CPU seconds or evictions), so memory-free
+#: exports keep their exact byte shape and figures from before the memory
+#: model parse back fine.
+_TRAFFIC_MEMORY_SERIES = ("oom_evictions", "rss_mb_seconds", "cpu_seconds")
 _TRAFFIC_SCALING_SERIES = (
     "cold_starts",
     "cold_start_seconds",
@@ -44,7 +49,7 @@ _TRAFFIC_INT_FIELDS = frozenset(
     {
         "offered", "completed", "timed_out", "dropped", "shed",
         "cached", "coalesced", "rate_limited", "rejected",
-        "cold_starts", "max_replicas", "count",
+        "cold_starts", "max_replicas", "count", "oom_evictions",
     }
 )
 #: Per-scheduling-class series: ClassSummary counters, then its latency stats.
@@ -198,6 +203,11 @@ def traffic_to_figure(
     has_middleware = any(
         getattr(summary, series) for summary in results.values() for series in _TRAFFIC_MW_SERIES
     )
+    has_memory = any(
+        getattr(summary, series)
+        for summary in results.values()
+        for series in _TRAFFIC_MEMORY_SERIES
+    )
     empty_class = {name: ClassSummary(
         name=name, offered=0, completed=0, timed_out=0, dropped=0,
         deadline_total=0, deadline_met=0, latency=LatencySummary.empty(),
@@ -214,6 +224,11 @@ def traffic_to_figure(
                 result.add_point("volume", series, getattr(summary, series))
         for series in _TRAFFIC_SCALING_SERIES:
             result.add_point("scaling", series, getattr(summary, series))
+        if has_memory:
+            for series in _TRAFFIC_MEMORY_SERIES:
+                result.add_point("memory", series, getattr(summary, series))
+            result.add_point("memory", "rss_mb_per_1k", summary.rss_mb_per_1k)
+            result.add_point("memory", "cpu_seconds_per_1k", summary.cpu_seconds_per_1k)
         result.add_point("scaling", "goodput_rps", summary.goodput_rps)
         result.add_point("scaling", "deadline_met_ratio", summary.deadline_met_ratio)
         result.add_point("meta", "mode", summary.mode)
@@ -370,6 +385,14 @@ def traffic_from_figure(figure) -> Dict[str, Any]:
             return 0
         return int(float(raw))
 
+    def pick_lenient(panel: str, series: str, index: int) -> float:
+        """A late-addition float series (memory economics), defaulting to 0.0."""
+        try:
+            raw = pick_raw(panel, series, index)
+        except ExportError:
+            return 0.0
+        return float(raw)
+
     def pick_classes(index: int) -> tuple:
         """Rebuild the label's ClassSummary tuple from the classes panel.
 
@@ -435,6 +458,9 @@ def traffic_from_figure(figure) -> Dict[str, Any]:
             max_replicas=pick("scaling", "max_replicas", index),
             replica_timeline=(),
             classes=pick_classes(index),
+            oom_evictions=pick_count("memory", "oom_evictions", index),
+            rss_mb_seconds=pick_lenient("memory", "rss_mb_seconds", index),
+            cpu_seconds=pick_lenient("memory", "cpu_seconds", index),
         )
     return summaries
 

@@ -144,6 +144,9 @@ class StreamingTrafficStats:
         cold_start_seconds: float = 0.0,
         replica_timeline: Sequence[Tuple[float, int]] = (),
         declared_classes: Sequence[str] = (),
+        oom_evictions: int = 0,
+        rss_mb_seconds: float = 0.0,
+        cpu_seconds: float = 0.0,
     ) -> TrafficSummary:
         """The streaming analogue of :func:`repro.traffic.slo.summarize`."""
         from repro.traffic.slo import _replica_seconds  # shared step integration
@@ -174,6 +177,9 @@ class StreamingTrafficStats:
             max_replicas=max((count for _, count in replica_timeline), default=0),
             replica_timeline=tuple(replica_timeline),
             classes=self.class_summaries(),
+            oom_evictions=oom_evictions,
+            rss_mb_seconds=rss_mb_seconds,
+            cpu_seconds=cpu_seconds,
         )
 
     def waterfall(self, label: str) -> List[WaterfallRow]:

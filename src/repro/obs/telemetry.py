@@ -193,6 +193,29 @@ class Telemetry:
                 }
             )
 
+    def on_oom_evict(self, tenant: str, node: str, replica: str, now_s: float) -> None:
+        """The OOM evictor killed one idle replica on an over-budget node.
+
+        The counter family is created on first eviction (like the
+        middleware counters), so runs without a memory model keep their
+        exposition byte-identical.
+        """
+        self.registry.counter(
+            "repro_oom_evictions_total",
+            help="Replicas killed by the OOM evictor, by tenant and node.",
+            labels=("tenant", "node"),
+        ).labels(tenant=tenant, node=node).inc()
+        if self.events is not None:
+            self.events.emit(
+                {
+                    "event": "oom_evict",
+                    "tenant": tenant,
+                    "node": node,
+                    "replica": replica,
+                    "sim_s": round(now_s, 9),
+                }
+            )
+
     def on_tick(
         self, tenant: str, sample: LoadSample, forecast_rps: Optional[float] = None
     ) -> None:
@@ -265,6 +288,42 @@ class Telemetry:
                 payload: Dict[str, object] = {"event": "middleware", "stage": stage}
                 payload.update(counters)
                 self.events.emit(payload)
+
+    def observe_memory(
+        self, tenants: Mapping[str, "tuple[int, float, float]"]
+    ) -> None:
+        """Fold per-tenant memory economics in (run end, memory runs only).
+
+        ``tenants`` maps tenant name to ``(oom_evictions, rss_mb_seconds,
+        cpu_seconds)``.  Only called when the memory model ran, and the
+        gauge families are created here, so memory-free runs never grow
+        their exposition.
+        """
+        if not tenants:
+            return
+        rss = self.registry.gauge(
+            "repro_tenant_rss_mb_seconds",
+            help="Integral of replica RSS over residency (MB x seconds).",
+            labels=("tenant",),
+        )
+        cpu = self.registry.gauge(
+            "repro_tenant_cpu_seconds",
+            help="Replica-busy CPU seconds (hedged losers included).",
+            labels=("tenant",),
+        )
+        for tenant, (evictions, rss_mb_seconds, cpu_seconds) in tenants.items():
+            rss.labels(tenant=tenant).set(rss_mb_seconds)
+            cpu.labels(tenant=tenant).set(cpu_seconds)
+            if self.events is not None:
+                self.events.emit(
+                    {
+                        "event": "memory",
+                        "tenant": tenant,
+                        "oom_evictions": evictions,
+                        "rss_mb_seconds": round(rss_mb_seconds, 9),
+                        "cpu_seconds": round(cpu_seconds, 9),
+                    }
+                )
 
     def observe_node_usage(self, nodes: Mapping[str, object]) -> None:
         """Fold per-node ledger rollups into node gauges (run end, once)."""

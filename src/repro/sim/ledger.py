@@ -129,9 +129,23 @@ class MemoryMeter:
             self._peak = self._current
 
     def free(self, nbytes: int) -> None:
+        """Release ``nbytes`` of a previous allocation.
+
+        Freeing more than is currently allocated above the baseline is an
+        accounting bug (a double free, or a free with no matching allocate),
+        not a rounding artefact — silently clamping to the baseline would
+        mask it, so it raises instead (mirroring
+        ``IngressGateway.release`` on double-release).
+        """
         if nbytes < 0:
             raise LedgerError("cannot free a negative amount")
-        self._current = max(self._baseline, self._current - nbytes)
+        allocated = self._current - self._baseline
+        if nbytes > allocated:
+            raise LedgerError(
+                "meter %r cannot free %d bytes: only %d allocated above the "
+                "baseline (double free?)" % (self.name, nbytes, allocated)
+            )
+        self._current -= nbytes
 
     def reset(self) -> None:
         self._current = self._baseline

@@ -297,6 +297,33 @@ class Autoscaler:
         self.decisions.append(decision)
         return decision
 
-    def reclaimable(self, now: float, idle_since: float) -> bool:
-        """Whether a replica idle since ``idle_since`` is past its keep-alive."""
-        return now - idle_since >= self.keep_alive_s
+    def effective_keep_alive_s(self, memory_pressure: float = 0.0) -> float:
+        """The keep-alive window, discounted by node memory pressure.
+
+        Holding a warm replica is not free: it occupies its RSS for the
+        whole window (``rss_mb x keep_alive_s`` RSS-seconds), which is only
+        worth paying while that memory is cheap.  As the replica's node
+        fills up (``memory_pressure`` = used/budget, clamped to [0, 1]) the
+        window shrinks linearly — at a full node an idle replica is worth
+        nothing and is reclaimed immediately, trading a possible future
+        cold start for headroom now.  With no memory model (pressure 0.0)
+        the configured window applies unchanged.
+        """
+        pressure = min(1.0, max(0.0, memory_pressure))
+        return self.keep_alive_s * (1.0 - pressure)
+
+    def reclaimable(
+        self, now: float, idle_since: float, memory_pressure: float = 0.0
+    ) -> bool:
+        """Whether a replica idle since ``idle_since`` is past its keep-alive.
+
+        The boundary is pinned so a replica that became idle at this very
+        sim-time instant is never reclaimed (``elapsed > 0`` required):
+        with ``keep_alive_s=0`` a completion and a control tick can land on
+        the same timestamp, and the request being dispatched at that
+        instant must win the race against the reclaimer.
+        """
+        elapsed = now - idle_since
+        if elapsed <= 0.0:
+            return False
+        return elapsed >= self.effective_keep_alive_s(memory_pressure)

@@ -120,6 +120,20 @@ class TrafficConfig:
     #: memory).  False switches the engine to streaming accumulators and P²
     #: quantile sketches: summaries keep their shape, memory stays constant.
     retain_records: bool = True
+    #: Per-node RSS budget in MB.  0 (the default) disables the memory
+    #: model entirely: replicas carry no footprint, services never inflate,
+    #: the evictor never runs, and every output stays byte-identical to a
+    #: run built before the model existed.
+    node_memory_mb: float = 0.0
+    #: Per-replica RSS override in MB (``None`` = each tenant's runtime
+    #: profile default: the container baseline for runc, the Wasm baseline
+    #: otherwise).  Tenant specs can override per tenant via ``rss_mb``.
+    replica_rss_mb: Optional[float] = None
+    #: Fraction of the node budget above which service times inflate.
+    pressure_knee: float = 0.85
+    #: Inflation slope: the service multiplier reaches ``1 + slope`` when a
+    #: node sits exactly at its budget.
+    pressure_slope: float = 1.0
 
     def __post_init__(self) -> None:
         if self.nodes < 1:
@@ -132,6 +146,19 @@ class TrafficConfig:
             raise TrafficEngineError("max_queue must be >= 1")
         if self.queue_timeout_s <= 0:
             raise TrafficEngineError("queue_timeout_s must be positive")
+        if self.node_memory_mb < 0:
+            raise TrafficEngineError("node_memory_mb must be non-negative")
+        if self.replica_rss_mb is not None and self.replica_rss_mb <= 0:
+            raise TrafficEngineError("replica_rss_mb must be positive")
+        if not 0.0 < self.pressure_knee < 1.0:
+            raise TrafficEngineError("pressure_knee must be in (0, 1)")
+        if self.pressure_slope < 0:
+            raise TrafficEngineError("pressure_slope must be non-negative")
+
+    @property
+    def memory_enabled(self) -> bool:
+        """Whether this run models memory at all."""
+        return self.node_memory_mb > 0
 
 
 @dataclass
@@ -147,6 +174,10 @@ class _Replica:
     ready_at: float
     cold_s: float = 0.0
     idle_since: float = 0.0
+    #: Modelled resident-set footprint (0.0 when the memory model is off).
+    rss_mb: float = 0.0
+    #: Registration time, for RSS-seconds (footprint x residency) accounting.
+    born_s: float = 0.0
 
 
 @dataclass
@@ -168,6 +199,11 @@ class _TenantState:
     # Arrival-rate sampling for predictive scaling policies.
     arrivals_since_tick: int = 0
     last_tick_s: float = 0.0
+    # Memory model (all stay zero when the model is off).
+    rss_mb: float = 0.0          # resolved per-replica footprint
+    oom_evictions: int = 0
+    rss_mb_seconds: float = 0.0  # integral of RSS over replica residency
+    cpu_seconds: float = 0.0     # replica-busy seconds (hedged losers too)
 
     @property
     def name(self) -> str:
@@ -268,6 +304,9 @@ class MultiTenantTrafficEngine:
         #: Per-tenant records of the last run (sorted by request id).
         #: Empty lists in sketch mode — nothing is retained there.
         self.records: Dict[str, List[RequestRecord]] = {}
+        #: OOM evictions of the last run, in firing order: (time, tenant,
+        #: replica name).  Empty unless the memory model ran.
+        self.evictions: List[Tuple[float, str, str]] = []
         #: Latency-waterfall rows of the last run (per tenant + cluster).
         self.waterfall: List[WaterfallRow] = []
         self._cluster_stream: Optional[StreamingTrafficStats] = None
@@ -315,6 +354,26 @@ class MultiTenantTrafficEngine:
         for index in range(self.config.nodes):
             cluster.add_node("traffic-%d" % index)
         orchestrator = Orchestrator(cluster)
+        # The memory model: None unless a node budget was configured, and
+        # every use below is guarded on that — a memory-free run touches
+        # none of it and stays byte-identical to the pre-model engine.
+        self.evictions = []
+        memory = None
+        if self.config.memory_enabled:
+            from repro.traffic.memory import NodeMemoryModel, default_replica_rss_mb
+
+            memory = NodeMemoryModel(
+                budget_mb=self.config.node_memory_mb,
+                knee=self.config.pressure_knee,
+                slope=self.config.pressure_slope,
+                ledger=cluster.ledger,
+            )
+            for state in states:
+                state.rss_mb = (
+                    state.spec.rss_mb
+                    or self.config.replica_rss_mb
+                    or default_replica_rss_mb(state.spec.mode, self.config.cost_model)
+                )
         pipeline = self.middleware
         gateway = IngressGateway(
             orchestrator,
@@ -422,10 +481,17 @@ class MultiTenantTrafficEngine:
                 state.cold_starts += 1
                 state.cold_start_seconds += cold
                 replica = _Replica(
-                    deployed=deployed, ready_at=now + cold, cold_s=cold, idle_since=now + cold
+                    deployed=deployed,
+                    ready_at=now + cold,
+                    cold_s=cold,
+                    idle_since=now + cold,
+                    rss_mb=state.rss_mb,
+                    born_s=now,
                 )
                 state.replicas.append(replica)
                 state.by_name[deployed.name] = replica
+                if memory is not None:
+                    memory.allocate(deployed.node_name, state.rss_mb)
                 loop.schedule_at(now + cold, lambda: dispatch(loop.now), label="warm")
             if telemetry is not None and count > 0:
                 telemetry.on_scale(
@@ -436,6 +502,60 @@ class MultiTenantTrafficEngine:
                     cold_starts=count,
                     cold_seconds=state.cold_start_seconds - cold_before,
                 )
+            if memory is not None and count > 0:
+                evict_over_budget(now)
+
+        def drop_replica(state: _TenantState, replica: _Replica, now: float) -> None:
+            """Deregister one warm replica (reclaim and eviction share this)."""
+            gateway.remove_replica(state.function, replica.deployed)
+            state.replicas.remove(replica)
+            del state.by_name[replica.deployed.name]
+            if memory is not None:
+                state.rss_mb_seconds += replica.rss_mb * max(0.0, now - replica.born_s)
+                memory.free(replica.deployed.node_name, replica.rss_mb)
+
+        def evict_over_budget(now: float) -> None:
+            """Kill the coldest idle replica on every node over its budget.
+
+            Runs only from serialized stages (scale-ups are never
+            node-partitioned), so the eviction order is deterministic: per
+            over-budget node, the idle warm replica with the smallest
+            ``idle_since`` goes first, ties broken by tenant registration
+            order and then replica name.  A node whose budget excess is
+            pinned by busy replicas stays over budget — nothing to kill —
+            and pays through service-time inflation instead.  Each eviction
+            is a forced future cold start: the tenant's next scale-up pays
+            the full warm-up again.
+            """
+            while True:
+                evicted = False
+                for node in sorted(node for node in cluster.nodes if memory.over_budget(node)):
+                    best = None
+                    for index, state in enumerate(states):
+                        if not state.replicas:
+                            continue
+                        counts = gateway.in_flight(state.function)
+                        for replica in state.replicas:
+                            if replica.deployed.node_name != node:
+                                continue
+                            if counts[replica.deployed.name] != 0 or replica.ready_at > now:
+                                continue
+                            key = (replica.idle_since, index, replica.deployed.name)
+                            if best is None or key < best[0]:
+                                best = (key, state, replica)
+                    if best is None:
+                        continue
+                    _, victim_state, victim = best
+                    drop_replica(victim_state, victim, now)
+                    victim_state.oom_evictions += 1
+                    self.evictions.append((now, victim_state.name, victim.deployed.name))
+                    if telemetry is not None:
+                        telemetry.on_oom_evict(
+                            victim_state.name, node, victim.deployed.name, now
+                        )
+                    evicted = True
+                if not evicted:
+                    return
 
         def load_snapshot() -> Tuple[Dict[str, int], Dict[str, Dict[str, int]]]:
             """One pass over the gateway's in-flight counters.
@@ -539,6 +659,10 @@ class MultiTenantTrafficEngine:
                         )
                         hedge = state.by_name[hedge_deployed.name]
                         primary_done, hedge_offset = plan.completion_offsets()
+                        if memory is not None:
+                            # Each attempt slows by its own node's pressure.
+                            primary_done *= memory.inflation(primary.deployed.node_name)
+                            hedge_offset *= memory.inflation(hedge.deployed.node_name)
                         # First finisher wins; the loser is cancelled (and
                         # its replica released) at the winner's completion.
                         if now + hedge_offset < now + primary_done:
@@ -552,6 +676,11 @@ class MultiTenantTrafficEngine:
                             state.function, [replica.deployed for replica in candidates]
                         )
                         replica = state.by_name[deployed.name]
+                        if memory is not None:
+                            # Memory pressure on the chosen node slows the
+                            # service; the EWMA below sees the inflated time,
+                            # so scaling decisions feel the pressure too.
+                            service = service * memory.inflation(replica.deployed.node_name)
                         completion = now + service
                     # Feed the measured service time back into the queue's
                     # per-tenant EWMA: later enqueues snapshot it as their
@@ -595,12 +724,19 @@ class MultiTenantTrafficEngine:
                             # order: gateway bookkeeping and re-dispatch.
                             gateway.release(state.function, replica.deployed)
                             replica.idle_since = completion
+                            if memory is not None:
+                                # Replica-busy CPU: the loser of a hedge
+                                # burned the same wall interval before its
+                                # cancellation, so it pays too.
+                                state.cpu_seconds += record.service_s
                             if loser is not None:
                                 # The hedge's losing attempt is cancelled
                                 # now: its replica frees the moment the
                                 # winner answers the client.
                                 gateway.release(state.function, loser.deployed)
                                 loser.idle_since = completion
+                                if memory is not None:
+                                    state.cpu_seconds += record.service_s
                             resolve(state, record, node=replica.deployed.node_name)
                             dispatch(loop.now)
 
@@ -748,7 +884,13 @@ class MultiTenantTrafficEngine:
             )
 
         def reclaim(state: _TenantState, count: int, now: float) -> None:
-            """Remove up to ``count`` warm replicas idle past their keep-alive."""
+            """Remove up to ``count`` warm replicas idle past their keep-alive.
+
+            With the memory model on, each replica's keep-alive window is
+            discounted by its node's memory pressure — holding a warm pool
+            costs RSS-seconds, and that is only worth paying while the
+            node's memory is cheap.
+            """
             counts = gateway.in_flight(state.function) if state.replicas else {}
             idle = sorted(
                 (
@@ -756,15 +898,21 @@ class MultiTenantTrafficEngine:
                     for replica in state.replicas
                     if counts[replica.deployed.name] == 0
                     and replica.ready_at <= now
-                    and state.autoscaler.reclaimable(now, replica.idle_since)
+                    and state.autoscaler.reclaimable(
+                        now,
+                        replica.idle_since,
+                        memory_pressure=(
+                            memory.pressure(replica.deployed.node_name)
+                            if memory is not None
+                            else 0.0
+                        ),
+                    )
                 ),
                 key=lambda replica: replica.idle_since,
             )
             removed = idle[:count]
             for replica in removed:
-                gateway.remove_replica(state.function, replica.deployed)
-                state.replicas.remove(replica)
-                del state.by_name[replica.deployed.name]
+                drop_replica(state, replica, now)
             if telemetry is not None and removed:
                 telemetry.on_scale(state.name, -len(removed), len(state.replicas), now)
 
@@ -818,12 +966,31 @@ class MultiTenantTrafficEngine:
             default=0.0,
         )
         duration = max(run_state["last_event_s"], last_arrival)
+        if memory is not None:
+            # Survivors' RSS-seconds: replicas still warm at the end of the
+            # run occupied their footprint until the run's last event.
+            for state in states:
+                for replica in state.replicas:
+                    state.rss_mb_seconds += replica.rss_mb * max(
+                        0.0, duration - replica.born_s
+                    )
         self.middleware_stats = pipeline.stats() if pipeline is not None else {}
         if telemetry is not None:
             if self.middleware_stats:
                 telemetry.observe_middleware(self.middleware_stats)
             telemetry.observe_queue_stats(gateway.queue.all_stats())
             telemetry.observe_node_usage(self._node_usage(gateway))
+            if memory is not None:
+                telemetry.observe_memory(
+                    {
+                        state.name: (
+                            state.oom_evictions,
+                            state.rss_mb_seconds,
+                            state.cpu_seconds,
+                        )
+                        for state in states
+                    }
+                )
             telemetry.on_run_end(
                 duration,
                 total_requests,
@@ -861,6 +1028,9 @@ class MultiTenantTrafficEngine:
                     cold_start_seconds=state.cold_start_seconds,
                     replica_timeline=state.timeline,
                     declared_classes=state.spec.class_names,
+                    oom_evictions=state.oom_evictions,
+                    rss_mb_seconds=state.rss_mb_seconds,
+                    cpu_seconds=state.cpu_seconds,
                 )
                 waterfall.extend(waterfall_from_records(state.name, state.records))
             else:
@@ -873,6 +1043,9 @@ class MultiTenantTrafficEngine:
                     cold_start_seconds=state.cold_start_seconds,
                     replica_timeline=state.timeline,
                     declared_classes=state.spec.class_names,
+                    oom_evictions=state.oom_evictions,
+                    rss_mb_seconds=state.rss_mb_seconds,
+                    cpu_seconds=state.cpu_seconds,
                 )
                 waterfall.extend(state.stream.waterfall(state.name))
         if retain:
@@ -885,6 +1058,9 @@ class MultiTenantTrafficEngine:
                 cold_start_seconds=sum(state.cold_start_seconds for state in states),
                 replica_timeline=_merge_timelines([state.timeline for state in states]),
                 declared_classes=sorted(set(declared_union)),
+                oom_evictions=sum(state.oom_evictions for state in states),
+                rss_mb_seconds=sum(state.rss_mb_seconds for state in states),
+                cpu_seconds=sum(state.cpu_seconds for state in states),
             )
             if len(states) > 1:
                 waterfall.extend(waterfall_from_records("cluster", all_records))
@@ -897,6 +1073,9 @@ class MultiTenantTrafficEngine:
                 cold_start_seconds=sum(state.cold_start_seconds for state in states),
                 replica_timeline=_merge_timelines([state.timeline for state in states]),
                 declared_classes=sorted(set(declared_union)),
+                oom_evictions=sum(state.oom_evictions for state in states),
+                rss_mb_seconds=sum(state.rss_mb_seconds for state in states),
+                cpu_seconds=sum(state.cpu_seconds for state in states),
             )
             if len(states) > 1:
                 waterfall.extend(self._cluster_stream.waterfall("cluster"))
@@ -1021,6 +1200,7 @@ class TrafficEngine:
         self.middleware_stats: Dict[str, Dict[str, int]] = {}
         self.records: List[RequestRecord] = []
         self.waterfall: List[WaterfallRow] = []
+        self.evictions: List[Tuple[float, str, str]] = []
         self.clock = SimClock()
         self._service_cache: Dict[Tuple[str, int], float] = {}
 
@@ -1060,6 +1240,7 @@ class TrafficEngine:
         result = engine.run()
         self.middleware_stats = engine.middleware_stats
         self.records = engine.records["tenant-1"]
+        self.evictions = engine.evictions
         # Relabel the internal tenant's waterfall rows with the mode name.
         self.waterfall = [
             replace(row, label=self.mode)

@@ -33,6 +33,7 @@ def render_summary_table(
     comparison run, tenant names for a shared-cluster run.
     """
     middleware = _has_middleware(results)
+    memory = _has_memory(results)
     headers = [
         label,
         "offered",
@@ -53,6 +54,10 @@ def render_summary_table(
         "cold starts",
         "cold start (s)",
     ]
+    if memory:
+        # Memory economics appear only when a memory model ran (same
+        # conditional-rendering discipline as the middleware columns).
+        headers += ["evicted", "RSS-MB/1k", "CPU-s/1k"]
     rows = []
     for key, summary in results.items():
         row = [
@@ -78,6 +83,12 @@ def render_summary_table(
             summary.cold_starts,
             summary.cold_start_seconds,
         ]
+        if memory:
+            row += [
+                summary.oom_evictions,
+                summary.rss_mb_per_1k,
+                summary.cpu_seconds_per_1k,
+            ]
         rows.append(row)
     return format_table(headers, rows, title=title)
 
@@ -243,6 +254,14 @@ def _has_middleware(results: Mapping[str, TrafficSummary]) -> bool:
     """Whether any run had requests resolved by gateway middleware."""
     return any(
         summary.cached or summary.coalesced or summary.rate_limited or summary.rejected
+        for summary in results.values()
+    )
+
+
+def _has_memory(results: Mapping[str, TrafficSummary]) -> bool:
+    """Whether any run modelled memory (RSS-seconds accrued or OOM fired)."""
+    return any(
+        summary.rss_mb_seconds or summary.oom_evictions or summary.cpu_seconds
         for summary in results.values()
     )
 

@@ -236,11 +236,36 @@ class TrafficSummary:
     coalesced: int = 0
     rate_limited: int = 0
     rejected: int = 0
+    #: Replicas killed by the OOM evictor (zero unless a memory model ran).
+    oom_evictions: int = 0
+    #: Integral of replica RSS over residency (MB x seconds); zero without
+    #: a memory model.
+    rss_mb_seconds: float = 0.0
+    #: Replica-busy seconds (hedged losers included: they burned CPU too).
+    cpu_seconds: float = 0.0
 
     @property
     def served(self) -> int:
         """Requests that got a good response (completed + cached + coalesced)."""
         return self.completed + self.cached + self.coalesced
+
+    @property
+    def rss_mb_per_1k(self) -> float:
+        """RSS MB-seconds consumed per 1000 served requests.
+
+        The density headline: how much resident memory (integrated over
+        replica residency) a unit of goodput costs under this mode.
+        """
+        if self.served == 0:
+            return 0.0
+        return self.rss_mb_seconds * 1000.0 / self.served
+
+    @property
+    def cpu_seconds_per_1k(self) -> float:
+        """Replica-busy CPU seconds per 1000 served requests."""
+        if self.served == 0:
+            return 0.0
+        return self.cpu_seconds * 1000.0 / self.served
 
     @property
     def deadline_total(self) -> int:
@@ -292,6 +317,9 @@ def summarize(
     cold_start_seconds: float = 0.0,
     replica_timeline: Sequence[Tuple[float, int]] = (),
     declared_classes: Sequence[str] = (),
+    oom_evictions: int = 0,
+    rss_mb_seconds: float = 0.0,
+    cpu_seconds: float = 0.0,
 ) -> TrafficSummary:
     """Roll per-request records into one :class:`TrafficSummary`."""
     if duration_s <= 0:
@@ -337,6 +365,9 @@ def summarize(
         max_replicas=max((count for _, count in replica_timeline), default=0),
         replica_timeline=tuple(replica_timeline),
         classes=summarize_classes(records, declared=declared_classes),
+        oom_evictions=oom_evictions,
+        rss_mb_seconds=rss_mb_seconds,
+        cpu_seconds=cpu_seconds,
     )
 
 

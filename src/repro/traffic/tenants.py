@@ -71,12 +71,17 @@ class TenantSpec:
     pattern: Optional[str] = None
     #: Scheduling-class mix stamped onto the stream (empty = single class).
     classes: Tuple[RequestClass, ...] = ()
+    #: Per-replica RSS override in MB (``None`` = the runtime profile's
+    #: default baseline; only meaningful when the memory model is active).
+    rss_mb: Optional[float] = None
 
     def __post_init__(self) -> None:
         if not self.name:
             raise TenantError("tenant name must be non-empty")
         if self.weight < 1:
             raise TenantError("tenant %r: weight must be >= 1" % self.name)
+        if self.rss_mb is not None and self.rss_mb <= 0:
+            raise TenantError("tenant %r: rss_mb must be positive" % self.name)
         if (self.arrivals is None) == (self.requests is None):
             raise TenantError(
                 "tenant %r needs exactly one of arrivals or requests" % self.name
@@ -254,6 +259,7 @@ _TENANT_KEYS = frozenset(
     {
         "name", "pattern", "rps", "duration", "payload_mb", "seed", "weight",
         "mode", "burst_on", "burst_off", "period", "trough_rps", "classes",
+        "rss_mb",
     }
 )
 
@@ -314,6 +320,7 @@ def parse_tenants(
             burst_off = float(entry.get("burst_off", 15.0))
             period = float(entry.get("period", 60.0))
             trough_rps = float(entry.get("trough_rps", min(rps, max(rps / 10.0, 0.1))))
+            rss_mb = None if entry.get("rss_mb") is None else float(entry["rss_mb"])
         except (TypeError, ValueError) as exc:
             raise TenantError("tenant %r has a malformed numeric value: %s" % (name, exc))
         if pattern == "poisson":
@@ -362,6 +369,7 @@ def parse_tenants(
                 weight=weight,
                 arrivals=arrivals,
                 classes=classes,
+                rss_mb=rss_mb,
             )
         )
     names = [spec.name for spec in specs]

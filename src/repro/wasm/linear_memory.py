@@ -142,6 +142,7 @@ class LinearMemory:
                 if size > length:
                     self._free_list[address + length] = size - length
                 self._allocations[address] = length
+                self._meter_allocate(length)
                 return address
         address = self._bump
         end = address + length
@@ -150,11 +151,16 @@ class LinearMemory:
             self.grow(needed_pages)
         self._bump = end
         self._allocations[address] = length
-        if self._meter is not None and not self._materialize:
-            # In modeled mode the meter tracks logical allocations instead of
-            # backing pages.
-            self._meter.allocate(length)
+        self._meter_allocate(length)
         return address
+
+    def _meter_allocate(self, length: int) -> None:
+        # In modeled mode the meter tracks logical allocations instead of
+        # backing pages.  Free-list reuse charges too: ``deallocate`` freed
+        # those bytes from the meter, so re-occupying the slot re-allocates
+        # them (skipping it made the paired deallocate an over-free).
+        if self._meter is not None and not self._materialize:
+            self._meter.allocate(length)
 
     def deallocate(self, address: int) -> int:
         """Release an allocation; returns the freed length."""

@@ -68,15 +68,25 @@ class WasiInterface:
         return payload
 
     def copy_in(self, instance: WasmInstance, payload: Payload) -> int:
-        """Copy a host buffer into linear memory; returns the guest address."""
+        """Copy a host buffer into linear memory; returns the guest address.
+
+        The host buffer's accounting stays with whoever allocated it: a
+        buffer staged by :meth:`copy_out` is returned via
+        :meth:`release_host_buffer` once the caller is done with it.  (The
+        old unconditional free here charged the *receiving* shim for send-
+        side staging it never allocated.)
+        """
         self._require_wasi(instance)
         self._charge_call("copy_in:%s" % instance.name)
         address = instance.memory.allocate(payload.size)
         instance.memory.write_payload(address, payload)
         instance.set_input(address)
         self._charge_boundary_copy(payload.size, instance.name)
-        self.process.cgroup.memory.free(payload.size)
         return address
+
+    def release_host_buffer(self, payload: Payload) -> None:
+        """Release a host staging buffer created by :meth:`copy_out`."""
+        self.process.cgroup.memory.free(payload.size)
 
     # -- classic WASI entry points (thin wrappers used by examples/tests) ----------------
 
@@ -118,6 +128,8 @@ class WasiInterface:
         self._charge_call("path_create:%s" % path)
         payload = self.copy_out(instance, address, length)
         filesystem.write_file(self.process, path, payload)
+        # The staging buffer dies once the kernel has the bytes.
+        self.release_host_buffer(payload)
 
     def _require_wasi(self, instance: WasmInstance) -> None:
         if not instance.module.requires_wasi:

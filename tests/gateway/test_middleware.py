@@ -439,3 +439,77 @@ def test_hedge_trigger_accounts_time_already_spent_queueing():
         HedgeStage(straggler_prob=1.0)
     with pytest.raises(MiddlewareError):
         HedgeStage(straggler_factor=0.5)
+
+
+# -- regression: hedged winners and idle refill ---------------------------------------
+
+
+def test_cache_fills_once_from_the_hedged_winner():
+    """A hedged request yields exactly one record -- the winner's -- and the
+    cache must fill from it exactly once; the cancelled loser never reaches
+    ``on_complete`` at all."""
+    seed = _hedge_seed(prob=0.5)
+    cache = ResponseCacheStage(ttl_s=100.0)
+    hedge = HedgeStage(budget_s=0.5, straggler_prob=0.5, straggler_factor=4.0, seed=seed)
+    pipeline = MiddlewarePipeline([cache, hedge])
+
+    ctx = pipeline.context("t", _request())
+    assert pipeline.admit(ctx, 0.0).action is AdmitAction.PASS  # cold cache: miss
+    plan = pipeline.plan_dispatch(ctx, 0.0, service_s=1.0, spare_replica=True)
+    assert plan.hedged
+    primary_done, hedge_done = plan.completion_offsets()
+    assert hedge_done < primary_done  # the hedge wins this race
+
+    # The engine materialises ONE record per hedged request: the winner's
+    # completion.  The straggling primary is released, never completed.
+    pipeline.complete(ctx, _record(ctx.request, completion_s=hedge_done), hedge_done)
+    assert cache.counters["fills"] == 1
+    assert hedge.counters["won"] == 1
+
+    # The winner's response now serves identical requests from the cache.
+    hit = pipeline.admit(
+        pipeline.context("t", _request(request_id=1, arrival_s=2.0)), 2.0
+    )
+    assert hit.outcome is RequestOutcome.CACHED
+
+
+def test_cache_never_fills_from_a_hedged_requests_failure():
+    """Even when a request was hedged, a non-COMPLETED terminal record (e.g.
+    both attempts timed out) must not populate the cache."""
+    cache = ResponseCacheStage(ttl_s=100.0)
+    hedge = HedgeStage(budget_s=0.5, straggler_prob=0.0)
+    pipeline = MiddlewarePipeline([cache, hedge])
+    ctx = pipeline.context("t", _request())
+    pipeline.admit(ctx, 0.0)
+    plan = pipeline.plan_dispatch(ctx, 0.0, service_s=1.0, spare_replica=True)
+    assert plan.hedged
+    pipeline.complete(
+        ctx, _record(ctx.request, outcome=RequestOutcome.TIMED_OUT, completion_s=None), 5.0
+    )
+    assert cache.counters.get("fills", 0) == 0
+    assert len(cache) == 0
+
+
+def test_token_bucket_clamps_refill_at_burst_after_long_idle():
+    """A long idle gap must refill the bucket to exactly ``burst``, never
+    ``burst + rate * gap``: only ``burst`` admissions pass before a reject."""
+    stage = TokenBucketStage(rate_rps=10.0, burst=3.0)
+    pipeline = MiddlewarePipeline([stage])
+    # Drain the initially full bucket.
+    for request_id in range(3):
+        ctx = pipeline.context("t", _request(request_id=request_id))
+        assert pipeline.admit(ctx, 0.0).action is AdmitAction.PASS
+    assert pipeline.admit(pipeline.context("t", _request(request_id=3)), 0.0).outcome is (
+        RequestOutcome.RATE_LIMITED
+    )
+
+    # A week of idle time at 10 rps would naively bank ~6 million tokens.
+    later = 0.0 + 7 * 24 * 3600.0
+    assert stage.tokens("t", later) == pytest.approx(3.0)
+    for request_id in range(4, 7):
+        ctx = pipeline.context("t", _request(request_id=request_id, arrival_s=later))
+        assert pipeline.admit(ctx, later).action is AdmitAction.PASS
+    refused = pipeline.admit(
+        pipeline.context("t", _request(request_id=7, arrival_s=later)), later
+    )
+    assert refused.outcome is RequestOutcome.RATE_LIMITED

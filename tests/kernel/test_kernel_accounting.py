@@ -76,9 +76,33 @@ def test_unknown_pid_rejected(kernel):
 
 
 def test_kernel_buffer_memory_tracks_meter(kernel):
+    from repro.kernel.buffers import KernelBuffer
+
     process = kernel.create_process("fn")
-    payload = Payload.virtual(1024)
-    kernel.kernel_buffer_memory(process, payload, allocate=True)
+    buffer = KernelBuffer(payload=Payload.virtual(1024), copied=True, producer="fn")
+    kernel.track_kernel_buffer(process, buffer)
+    assert buffer.owner is process.cgroup.memory
     assert process.cgroup.memory.current_bytes == 1024
-    kernel.kernel_buffer_memory(process, payload, allocate=False)
+    kernel.release_kernel_buffer(buffer)
+    assert buffer.owner is None
     assert process.cgroup.memory.current_bytes == 0
+
+
+def test_kernel_buffer_release_follows_the_owning_meter(kernel):
+    # The release must hit the meter that allocated, even when a different
+    # process consumes the buffer — the old receiver-side free silently
+    # underflowed the consumer's meter (clamped) and leaked the producer's.
+    from repro.kernel.buffers import KernelBuffer
+
+    producer = kernel.create_process("producer")
+    consumer = kernel.create_process("consumer")
+    buffer = KernelBuffer(payload=Payload.virtual(2048), copied=True, producer="producer")
+    kernel.track_kernel_buffer(producer, buffer)
+    # Re-tracking an owned buffer (a splice adoption) must not double-charge.
+    kernel.track_kernel_buffer(consumer, buffer)
+    assert consumer.cgroup.memory.current_bytes == 0
+    kernel.release_kernel_buffer(buffer)
+    assert producer.cgroup.memory.current_bytes == 0
+    # A second release is a no-op, not a double free.
+    kernel.release_kernel_buffer(buffer)
+    assert producer.cgroup.memory.current_bytes == 0

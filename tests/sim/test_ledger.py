@@ -88,8 +88,23 @@ def test_meter_tracks_peak_and_floor():
     meter.free(60)
     assert meter.peak_bytes == 175
     assert meter.current_bytes == 115
-    meter.free(10_000)
-    assert meter.current_bytes == 100  # never drops below the baseline
+    meter.free(15)
+    assert meter.current_bytes == 100  # back at the baseline
+
+
+def test_meter_rejects_over_free():
+    # Freeing more than is allocated above the baseline is a double-free
+    # style accounting bug; it must raise, not silently clamp.
+    meter = MemoryMeter(baseline_bytes=100)
+    meter.allocate(50)
+    with pytest.raises(LedgerError):
+        meter.free(51)
+    # The failed free must not have corrupted the level.
+    assert meter.current_bytes == 150
+    meter.free(50)
+    assert meter.current_bytes == 100
+    with pytest.raises(LedgerError):
+        meter.free(1)  # nothing allocated: any free is an over-free
 
 
 def test_meter_rejects_negative_amounts():

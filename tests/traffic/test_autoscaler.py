@@ -45,6 +45,34 @@ def test_keep_alive_gates_reclaim():
     assert autoscaler.reclaimable(now=10.0, idle_since=0.0)
 
 
+def test_zero_keep_alive_never_reclaims_at_the_idling_instant():
+    # Regression: with keep_alive_s=0 a replica that became idle at this
+    # very sim-time instant must NOT be reclaimable — a completion and a
+    # control tick can share a timestamp, and the dispatch happening at
+    # that instant has to win the race against the reclaimer.
+    autoscaler = Autoscaler(TargetConcurrencyPolicy(1.0), keep_alive_s=0.0)
+    assert not autoscaler.reclaimable(now=7.0, idle_since=7.0)
+    assert autoscaler.reclaimable(now=7.0 + 1e-9, idle_since=7.0)
+    # A replica whose idle_since lies in the future (still cold-starting)
+    # is likewise untouchable.
+    assert not autoscaler.reclaimable(now=7.0, idle_since=8.0)
+
+
+def test_memory_pressure_shrinks_the_keep_alive_window():
+    # Keep-alive economics: a warm replica costs RSS-seconds, so the
+    # window shrinks linearly with node memory pressure — zero at a full
+    # node — and is unchanged when no memory model is active.
+    autoscaler = Autoscaler(TargetConcurrencyPolicy(1.0), keep_alive_s=20.0)
+    assert autoscaler.effective_keep_alive_s() == 20.0
+    assert autoscaler.effective_keep_alive_s(0.5) == 10.0
+    assert autoscaler.effective_keep_alive_s(1.0) == 0.0
+    assert autoscaler.effective_keep_alive_s(2.0) == 0.0  # clamped
+    assert autoscaler.effective_keep_alive_s(-1.0) == 20.0  # clamped
+    # Idle 10s: not reclaimable at zero pressure, reclaimable at 50%.
+    assert not autoscaler.reclaimable(now=10.0, idle_since=0.0)
+    assert autoscaler.reclaimable(now=10.0, idle_since=0.0, memory_pressure=0.5)
+
+
 def test_invalid_parameters_raise():
     with pytest.raises(AutoscalerError):
         TargetConcurrencyPolicy(0)
