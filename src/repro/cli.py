@@ -781,13 +781,39 @@ def build_parser() -> argparse.ArgumentParser:
     )
     traffic.add_argument("--format", choices=("csv", "json"), default="csv",
                          help="format for --export")
+    traffic.add_argument(
+        "--profile", metavar="PATH", dest="profile_out",
+        help="run under cProfile and dump pstats data to PATH (load with "
+        "python -m pstats, snakeviz, etc.); a cumulative-time top-25 is "
+        "printed to stderr after the run",
+    )
     traffic.set_defaults(handler=_cmd_traffic)
     return parser
+
+
+def _run_profiled(handler, args: argparse.Namespace, path: str) -> int:
+    """Run ``handler(args)`` under cProfile, dumping pstats data to ``path``."""
+    import cProfile
+    import pstats
+
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        status = handler(args)
+    finally:
+        profiler.disable()
+        profiler.dump_stats(path)
+        stats = pstats.Stats(profiler, stream=sys.stderr)
+        stats.sort_stats("cumulative").print_stats(25)
+        print("wrote %s" % path, file=sys.stderr)
+    return status
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
+    if getattr(args, "profile_out", None):
+        return _run_profiled(args.handler, args, args.profile_out)
     return args.handler(args)
 
 

@@ -16,12 +16,18 @@ them.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.metrics.stats import LatencySummary
 from repro.obs.sketch import QuantileSketch
 from repro.obs.spans import WaterfallRow
-from repro.traffic.slo import ClassSummary, RequestOutcome, RequestRecord, TrafficSummary
+from repro.traffic.slo import (
+    SERVED_OUTCOMES,
+    ClassSummary,
+    RequestOutcome,
+    RequestRecord,
+    TrafficSummary,
+)
 
 
 @dataclass
@@ -34,10 +40,29 @@ class StageSketches:
     cold_wait: QuantileSketch = field(default_factory=QuantileSketch)
 
     def observe(self, record: RequestRecord) -> None:
-        self.latency.observe(record.latency_s)
-        self.queueing.observe(record.queueing_delay_s)
-        self.service.observe(record.service_s)
-        self.cold_wait.observe(record.cold_start_wait_s)
+        self.observe_values(
+            record.latency_s,
+            record.queueing_delay_s,
+            record.service_s,
+            record.cold_start_wait_s,
+        )
+
+    def observe_values(
+        self, latency: float, queueing: float, service: float, cold_wait: float
+    ) -> None:
+        """Fold pre-computed stage durations in (the engine's hot path)."""
+        self.latency.observe(latency)
+        self.queueing.observe(queueing)
+        self.service.observe(service)
+        self.cold_wait.observe(cold_wait)
+
+    def clone(self) -> "StageSketches":
+        return StageSketches(
+            latency=self.latency.clone(),
+            queueing=self.queueing.clone(),
+            service=self.service.clone(),
+            cold_wait=self.cold_wait.clone(),
+        )
 
 
 @dataclass
@@ -61,29 +86,61 @@ class _ClassStats:
     latency_served: QuantileSketch = field(default_factory=QuantileSketch)
 
     def observe(self, record: RequestRecord) -> None:
+        self.observe_values(
+            record.outcome,
+            record.served,
+            record.latency_s,
+            record.queueing_delay_s,
+            record.service_s,
+            record.cold_start_wait_s,
+            record.deadline_s,
+            record.deadline_met,
+        )
+
+    def observe_values(
+        self,
+        outcome: RequestOutcome,
+        served: bool,
+        latency: float,
+        queueing: float,
+        service: float,
+        cold_wait: float,
+        deadline_s: "Optional[float]",
+        deadline_met: "Optional[bool]",
+        track_stages: bool = True,
+        track_served: bool = True,
+    ) -> None:
+        """Fold one outcome with its pre-computed stage durations.
+
+        ``track_stages=False`` / ``track_served=False`` skip sketch updates
+        for scopes whose sketches are shared with (or never read instead
+        of) the owning :class:`StreamingTrafficStats` — the caller promises
+        the shared object is updated exactly once elsewhere.
+        """
         self.offered += 1
-        if record.outcome is RequestOutcome.COMPLETED:
+        if outcome is RequestOutcome.COMPLETED:
             self.completed += 1
-            self.stages.observe(record)
-        elif record.outcome is RequestOutcome.TIMED_OUT:
+            if track_stages:
+                self.stages.observe_values(latency, queueing, service, cold_wait)
+        elif outcome is RequestOutcome.TIMED_OUT:
             self.timed_out += 1
-        elif record.outcome is RequestOutcome.DROPPED:
+        elif outcome is RequestOutcome.DROPPED:
             self.dropped += 1
-        elif record.outcome is RequestOutcome.SHED:
+        elif outcome is RequestOutcome.SHED:
             self.shed += 1
-        elif record.outcome is RequestOutcome.CACHED:
+        elif outcome is RequestOutcome.CACHED:
             self.cached += 1
-        elif record.outcome is RequestOutcome.COALESCED:
+        elif outcome is RequestOutcome.COALESCED:
             self.coalesced += 1
-        elif record.outcome is RequestOutcome.RATE_LIMITED:
+        elif outcome is RequestOutcome.RATE_LIMITED:
             self.rate_limited += 1
-        elif record.outcome is RequestOutcome.REJECTED:
+        elif outcome is RequestOutcome.REJECTED:
             self.rejected += 1
-        if record.served:
-            self.latency_served.observe(record.latency_s)
-        if record.deadline_s is not None:
+        if served and track_served:
+            self.latency_served.observe(latency)
+        if deadline_s is not None:
             self.deadline_total += 1
-            if record.deadline_met:
+            if deadline_met:
                 self.deadline_met += 1
 
     def summary(self, name: str) -> ClassSummary:
@@ -110,21 +167,94 @@ class StreamingTrafficStats:
     def __init__(self, declared_classes: Sequence[str] = ()) -> None:
         self.offered = 0
         self.stages = StageSketches()
-        self._classes: Dict[str, _ClassStats] = {
-            name: _ClassStats() for name in declared_classes
-        }
+        self._classes: Dict[str, _ClassStats] = {}
         self._totals = _ClassStats()  # outcome/deadline counters across classes
+        for name in declared_classes:
+            self._class_stats(name)
+
+    def _class_stats(self, name: str) -> _ClassStats:
+        """The per-class accumulator, creating it on first sight.
+
+        While exactly one class exists its sketches would hold exactly the
+        scope-wide contents, so the sole class *shares* the scope's sketch
+        objects (and ``observe`` skips the duplicate updates).  The moment a
+        second class appears, the sole class's sketches are forked into
+        independent copies — identical content, tracked separately from
+        then on.
+        """
+        per_class = self._classes.get(name)
+        if per_class is not None:
+            return per_class
+        if not self._classes:
+            per_class = _ClassStats(
+                stages=self.stages, latency_served=self._totals.latency_served
+            )
+        else:
+            if len(self._classes) == 1:
+                (sole,) = self._classes.values()
+                if sole.stages is self.stages:
+                    sole.stages = self.stages.clone()
+                if sole.latency_served is self._totals.latency_served:
+                    sole.latency_served = self._totals.latency_served.clone()
+            per_class = _ClassStats()
+        self._classes[name] = per_class
+        return per_class
 
     def observe(self, record: RequestRecord) -> None:
-        """Fold one finished request in; the record is not retained."""
+        """Fold one finished request in; the record is not retained.
+
+        The stage durations are computed once here (mirroring the
+        :class:`~repro.traffic.slo.RequestRecord` property definitions) and
+        fanned out as plain floats — the record's derived properties are
+        never re-evaluated per scope, and the cross-class totals skip the
+        stage sketches nobody reads off them.
+        """
+        arrival = record.arrival_s
+        dispatch = record.dispatch_s
+        completion = record.completion_s
+        latency = 0.0 if completion is None else completion - arrival
+        queueing = 0.0 if dispatch is None else dispatch - arrival
+        service = (
+            0.0
+            if dispatch is None or completion is None
+            else completion - dispatch
+        )
+        cold_wait = record.cold_start_wait_s
+        outcome = record.outcome
+        served = outcome in SERVED_OUTCOMES
+        deadline_s = record.deadline_s
+        deadline_met = (
+            None if deadline_s is None else (served and completion <= deadline_s)
+        )
         self.offered += 1
-        self._totals.observe(record)
-        if record.outcome is RequestOutcome.COMPLETED:
-            self.stages.observe(record)
+        self._totals.observe_values(
+            outcome,
+            served,
+            latency,
+            queueing,
+            service,
+            cold_wait,
+            deadline_s,
+            deadline_met,
+            track_stages=False,
+        )
+        if outcome is RequestOutcome.COMPLETED:
+            self.stages.observe_values(latency, queueing, service, cold_wait)
         per_class = self._classes.get(record.request_class)
         if per_class is None:
-            per_class = self._classes[record.request_class] = _ClassStats()
-        per_class.observe(record)
+            per_class = self._class_stats(record.request_class)
+        per_class.observe_values(
+            outcome,
+            served,
+            latency,
+            queueing,
+            service,
+            cold_wait,
+            deadline_s,
+            deadline_met,
+            track_stages=per_class.stages is not self.stages,
+            track_served=per_class.latency_served is not self._totals.latency_served,
+        )
 
     @property
     def completed(self) -> int:
@@ -152,8 +282,7 @@ class StreamingTrafficStats:
         from repro.traffic.slo import _replica_seconds  # shared step integration
 
         for name in declared_classes:  # zero-request classes still export rows
-            if name not in self._classes:
-                self._classes[name] = _ClassStats()
+            self._class_stats(name)
         totals = self._totals
         return TrafficSummary(
             mode=mode,

@@ -315,6 +315,10 @@ class FairQueue:
     def depth(self, tenant: str) -> int:
         return len(self._require(tenant).live)
 
+    def is_queued(self, tenant: str, item_id: int) -> bool:
+        """Whether ``item_id`` is still waiting (not dispatched/cancelled)."""
+        return item_id in self._require(tenant).live
+
     def total_depth(self) -> int:
         return sum(len(queue.live) for queue in self._tenants.values())
 
@@ -325,6 +329,11 @@ class FairQueue:
         replica (work conservation); committing a dispatch goes through
         :meth:`pop`, which is where tags, skip counters and stats advance.
         """
+        if len(self._tenants) == 1:
+            # One tenant (the whole single-stream engine): every policy
+            # reduces to "that tenant, if backlogged" — skip the sorts.
+            (queue,) = self._tenants.values()
+            return [queue.name] if self._head(queue) is not None else []
         backlogged = [queue for queue in self._tenants.values() if self._head(queue) is not None]
         if self.policy is FairnessPolicy.FIFO:
             # With EDF inside a tenant, "arrival order" means the arrival
@@ -417,6 +426,18 @@ class _ReplicaState:
     deployed: DeployedFunction
     in_flight: int = 0
     served: int = 0
+    #: Set when the replica leaves the pool, so holders of a direct state
+    #: reference (the traffic engine's O(1) release path) still get the
+    #: stale-handle error a pool scan used to produce.
+    retired: bool = False
+    #: Opaque caller attachment: the traffic engine stores its own replica
+    #: view here so :meth:`IngressGateway.select_replica` results map back
+    #: without a name lookup.
+    handle: Optional[object] = None
+
+
+def _in_flight_of(state: _ReplicaState) -> int:
+    return state.in_flight
 
 
 class IngressGateway:
@@ -442,6 +463,7 @@ class IngressGateway:
         self._pools: Dict[str, List[_ReplicaState]] = {}
         self._round_robin_cursor: Dict[str, int] = {}
         self._replica_serial: Dict[str, int] = {}
+        self._deferred_ingress: Dict[str, int] = {}
         self.requests_routed = 0
         self.cold_starts = 0
         self.scale_downs = 0
@@ -524,6 +546,7 @@ class IngressGateway:
                         "replica %r has %d requests in flight; drain before removal"
                         % (deployed.name, state.in_flight)
                     )
+                state.retired = True
                 del pool[index]
                 self.orchestrator.undeploy(deployed.name)
                 self.scale_downs += 1
@@ -586,6 +609,77 @@ class IngressGateway:
             label="ingress:%s" % function,
         )
         return state.deployed
+
+    def select_replica(
+        self, function: str, candidates: Sequence[_ReplicaState]
+    ) -> _ReplicaState:
+        """The traffic engine's hot routing path: pick among live states.
+
+        Policy-identical to :meth:`route_among` (the round-robin cursor walks
+        the pool; least-loaded takes the first minimum in pool order), but
+        works directly on :class:`_ReplicaState` handles the caller already
+        holds, and *defers* the per-request ingress ledger charge: the count
+        accumulates per function and :meth:`flush_deferred_ingress` emits one
+        batched charge per function, so million-request runs do not allocate
+        a million Charge rows.
+        """
+        if not candidates:
+            raise GatewayError("no eligible replicas for function %r" % function)
+        if self.policy is RoutingPolicy.ROUND_ROBIN:
+            pool = self._require_pool(function)
+            cursor = self._round_robin_cursor[function]
+            eligible_ids = {id(state) for state in candidates}
+            state = candidates[0]
+            for offset in range(len(pool)):
+                probe = pool[(cursor + offset) % len(pool)]
+                if id(probe) in eligible_ids:
+                    state = probe
+                    self._round_robin_cursor[function] = (cursor + offset + 1) % len(pool)
+                    break
+        elif len(candidates) == 1:
+            state = candidates[0]
+        else:
+            state = min(candidates, key=_in_flight_of)
+        state.in_flight += 1
+        state.served += 1
+        self.requests_routed += 1
+        self._deferred_ingress[function] = self._deferred_ingress.get(function, 0) + 1
+        return state
+
+    def release_state(self, function: str, state: _ReplicaState) -> None:
+        """O(1) counterpart of :meth:`release` for held state handles."""
+        if state.retired:
+            raise GatewayError(
+                "replica %r does not belong to function %r"
+                % (state.deployed.name, function)
+            )
+        if state.in_flight <= 0:
+            raise GatewayError(
+                "replica %r has no requests in flight to release" % state.deployed.name
+            )
+        state.in_flight -= 1
+
+    def flush_deferred_ingress(self) -> None:
+        """Charge the ingress overhead accumulated by :meth:`select_replica`.
+
+        One batched charge per function (``units`` = request count) keeps the
+        ledger totals equal to per-request charging while the charge list
+        stays O(functions).
+        """
+        deferred, self._deferred_ingress = self._deferred_ingress, {}
+        ledger = self.orchestrator.cluster.ledger
+        for function, count in deferred.items():
+            ledger.charge(
+                CostCategory.HTTP,
+                count * INGRESS_OVERHEAD_S,
+                cpu_domain=CpuDomain.USER,
+                label="ingress:%s" % function,
+                units=count,
+            )
+
+    def pool_states(self, function: str) -> List[_ReplicaState]:
+        """The live per-replica states, in pool order (engine fast path)."""
+        return self._require_pool(function)
 
     def release(self, function: str, deployed: DeployedFunction) -> None:
         """Mark a routed request as finished (load-balancer bookkeeping).

@@ -24,8 +24,8 @@ Wasm VM serialises all branches.
 
 from __future__ import annotations
 
+import atexit
 import heapq
-import itertools
 import os
 import pickle
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
@@ -41,7 +41,7 @@ class EngineError(RuntimeError):
     """Raised for scheduling errors (e.g. events in the past)."""
 
 
-@dataclass(order=True)
+@dataclass
 class Event:
     """An event scheduled at an absolute simulated time.
 
@@ -51,13 +51,23 @@ class Event:
     while the join is still executed at the event's exact place in the
     global time order — that split is what lets whole nodes simulate in
     parallel without reordering any cross-node effect.
+
+    ``args`` are passed positionally to ``action`` when the event fires.
+    Hot callers schedule one shared function with per-event ``args`` instead
+    of allocating a closure per event.
     """
 
     time: float
     order: int
-    action: Callable[[], Any] = field(compare=False)
-    label: str = field(default="", compare=False)
-    partition: str = field(default=GLOBAL_PARTITION, compare=False)
+    action: Callable[..., Any]
+    label: str = ""
+    partition: str = GLOBAL_PARTITION
+    args: Tuple = ()
+
+
+#: Heap entries are ``(time, order, event)`` so the heap compares plain
+#: floats and ints at C speed instead of dataclass ``__lt__`` per sift.
+_HeapEntry = Tuple[float, int, Event]
 
 
 class EventLoop:
@@ -68,8 +78,8 @@ class EventLoop:
     """
 
     def __init__(self) -> None:
-        self._queue: List[Event] = []
-        self._counter = itertools.count()
+        self._queue: List[_HeapEntry] = []
+        self._order = 0
         self._now = 0.0
         self._executed = 0
 
@@ -81,51 +91,70 @@ class EventLoop:
     def executed_events(self) -> int:
         return self._executed
 
+    def reserve_orders(self, count: int) -> int:
+        """Reserve ``count`` consecutive tie-break slots; return the first.
+
+        Lets a caller pin the relative order of events it will schedule
+        *later* (lazily) against events scheduled in between — the traffic
+        engine reserves one slot per arrival up front, then materializes
+        arrival events on demand without disturbing tie-breaking.
+        """
+        if count < 0:
+            raise EngineError("cannot reserve a negative order block")
+        base = self._order
+        self._order += count
+        return base
+
     def schedule(
         self,
         delay: float,
-        action: Callable[[], Any],
+        action: Callable[..., Any],
         label: str = "",
         partition: str = GLOBAL_PARTITION,
+        args: Tuple = (),
     ) -> Event:
         """Schedule ``action`` to run ``delay`` seconds from the current time."""
         if delay < 0:
             raise EngineError("cannot schedule an event in the past (delay=%r)" % delay)
-        event = Event(
-            time=self._now + delay,
-            order=next(self._counter),
-            action=action,
-            label=label,
-            partition=partition,
+        return self.schedule_at(
+            self._now + delay, action, label=label, partition=partition, args=args
         )
-        heapq.heappush(self._queue, event)
-        return event
 
     def schedule_at(
         self,
         time: float,
-        action: Callable[[], Any],
+        action: Callable[..., Any],
         label: str = "",
         partition: str = GLOBAL_PARTITION,
+        args: Tuple = (),
+        order: Optional[int] = None,
     ) -> Event:
-        """Schedule ``action`` at absolute time ``time``."""
+        """Schedule ``action`` at absolute time ``time``.
+
+        ``order`` pins an explicit tie-break slot previously obtained from
+        :meth:`reserve_orders`; by default the next slot is taken.
+        """
         if time < self._now:
             raise EngineError(
                 "cannot schedule an event at t=%r before now=%r" % (time, self._now)
             )
+        if order is None:
+            order = self._order
+            self._order += 1
         event = Event(
             time=time,
-            order=next(self._counter),
+            order=order,
             action=action,
             label=label,
             partition=partition,
+            args=args,
         )
-        heapq.heappush(self._queue, event)
+        heapq.heappush(self._queue, (time, order, event))
         return event
 
     def _execute(self, event: Event) -> None:
         """Run one event in place: its action, then any join it returned."""
-        result = event.action()
+        result = event.action(*event.args)
         if callable(result):
             result()
 
@@ -134,13 +163,17 @@ class EventLoop:
 
         Returns the simulated time after the run.
         """
-        while self._queue:
-            if until is not None and self._queue[0].time > until:
+        queue = self._queue
+        pop = heapq.heappop
+        while queue:
+            if until is not None and queue[0][0] > until:
                 self._now = until
                 return self._now
-            event = heapq.heappop(self._queue)
-            self._now = event.time
-            self._execute(event)
+            time, _, event = pop(queue)
+            self._now = time
+            result = event.action(*event.args)
+            if callable(result):
+                result()
             self._executed += 1
         if until is not None and until > self._now:
             self._now = until
@@ -150,8 +183,8 @@ class EventLoop:
         """Execute exactly one event; return it (or None if the queue is empty)."""
         if not self._queue:
             return None
-        event = heapq.heappop(self._queue)
-        self._now = event.time
+        time, _, event = heapq.heappop(self._queue)
+        self._now = time
         self._execute(event)
         self._executed += 1
         return event
@@ -191,12 +224,12 @@ class PartitionedEventLoop(EventLoop):
         batch: List[Event] = []
         seen = set()
         while self._queue:
-            head = self._queue[0]
+            head = self._queue[0][2]
             if until is not None and head.time > until:
                 break
             if head.partition == GLOBAL_PARTITION or head.partition in seen:
                 break
-            batch.append(heapq.heappop(self._queue))
+            batch.append(heapq.heappop(self._queue)[2])
             seen.add(head.partition)
         return batch
 
@@ -206,12 +239,12 @@ class PartitionedEventLoop(EventLoop):
         pool: Optional[ThreadPoolExecutor] = None
         try:
             while self._queue:
-                if until is not None and self._queue[0].time > until:
+                if until is not None and self._queue[0][0] > until:
                     self._now = until
                     return self._now
                 batch = self._collect_batch(until)
                 if not batch:
-                    event = heapq.heappop(self._queue)
+                    _, _, event = heapq.heappop(self._queue)
                     self._now = event.time
                     self._execute(event)
                     self._executed += 1
@@ -225,19 +258,23 @@ class PartitionedEventLoop(EventLoop):
                 if pool is None:
                     pool = ThreadPoolExecutor(max_workers=workers)
                 self.parallel_batches += 1
-                joins = list(pool.map(lambda event: event.action(), batch))
+                joins = list(pool.map(lambda event: event.action(*event.args), batch))
                 # Re-enqueue each event's join at its original slot so joins
                 # interleave with later (and newly scheduled) global events
                 # in exactly the serial order.
                 for event, join in zip(batch, joins):
                     heapq.heappush(
                         self._queue,
-                        Event(
-                            time=event.time,
-                            order=event.order,
-                            action=join if callable(join) else _noop,
-                            label=event.label,
-                            partition=GLOBAL_PARTITION,
+                        (
+                            event.time,
+                            event.order,
+                            Event(
+                                time=event.time,
+                                order=event.order,
+                                action=join if callable(join) else _noop,
+                                label=event.label,
+                                partition=GLOBAL_PARTITION,
+                            ),
                         ),
                     )
         finally:
@@ -250,6 +287,28 @@ class PartitionedEventLoop(EventLoop):
 
 def _noop() -> None:
     return None
+
+
+#: Long-lived worker pool shared by every default-sized :func:`parallel_map`
+#: call, so repeated comparisons (``run_comparison``, policy sweeps) stop
+#: paying process spin-up per invocation.  Recreated on demand after a
+#: worker crash; shut down at interpreter exit.
+_shared_pool: Optional[ProcessPoolExecutor] = None
+
+
+def _discard_shared_pool() -> None:
+    global _shared_pool
+    pool, _shared_pool = _shared_pool, None
+    if pool is not None:
+        pool.shutdown(wait=False, cancel_futures=True)
+
+
+def _get_shared_pool() -> ProcessPoolExecutor:
+    global _shared_pool
+    if _shared_pool is None:
+        _shared_pool = ProcessPoolExecutor(max_workers=os.cpu_count() or 1)
+        atexit.register(_discard_shared_pool)
+    return _shared_pool
 
 
 def parallel_map(
@@ -265,6 +324,10 @@ def parallel_map(
     when there is nothing to parallelize or worker processes cannot be
     spawned, so callers never need a fallback of their own; either way the
     result list is deterministic and ordered like ``items``.
+
+    Calls without an explicit ``max_workers`` share one long-lived process
+    pool across the interpreter; passing ``max_workers`` runs a one-off pool
+    of exactly that size.
     """
     if len(items) <= 1 or max_workers == 1 or (os.cpu_count() or 1) < 2:
         return [fn(*item) for item in items]
@@ -275,14 +338,19 @@ def parallel_map(
         pickle.dumps((fn, tuple(items)))
     except Exception:
         return [fn(*item) for item in items]
-    workers = max_workers or min(len(items), os.cpu_count() or 1)
+    if max_workers is None:
+        try:
+            return list(_get_shared_pool().map(fn, *zip(*items)))
+        except (OSError, BrokenProcessPool):
+            # A dead worker poisons the whole executor: drop it so the next
+            # call starts fresh, and finish this one serially.  Exceptions
+            # raised by ``fn`` itself still propagate to the caller.
+            _discard_shared_pool()
+            return [fn(*item) for item in items]
     try:
-        with ProcessPoolExecutor(max_workers=workers) as pool:
+        with ProcessPoolExecutor(max_workers=max_workers) as pool:
             return list(pool.map(fn, *zip(*items)))
     except (OSError, BrokenProcessPool):
-        # Pool bootstrap/teardown failures only (no fork, dead workers):
-        # exceptions raised by ``fn`` itself propagate to the caller instead
-        # of silently re-running every job serially.
         return [fn(*item) for item in items]
 
 

@@ -174,6 +174,15 @@ class CostLedger:
         self._reference_bytes = 0
         self._syscalls = 0
         self._context_switches = 0
+        # Running totals, maintained in charge order so each equals the
+        # equivalent left-to-right scan bit-for-bit.  They turn
+        # total_seconds()/seconds(cat)/cpu_seconds() from O(charges) scans
+        # into O(1) lookups — the scans were a hidden quadratic for callers
+        # polling totals while charging (e.g. cold-start deltas per replica).
+        self._total_seconds = 0.0
+        self._category_seconds: Dict[CostCategory, float] = {}
+        self._domain_seconds: Dict[CpuDomain, float] = {}
+        self._cpu_seconds_all = 0.0
 
     # -- recording -------------------------------------------------------------
 
@@ -210,18 +219,36 @@ class CostLedger:
             seq=len(self._charges),
         )
         self._charges.append(entry)
+        self._account(entry)
         if wall_time and seconds:
             self.clock.advance(seconds)
-        if nbytes:
-            if copied:
-                self._copied_bytes += nbytes
-            else:
-                self._reference_bytes += nbytes
         if category is CostCategory.SYSCALL:
-            self._syscalls += units
+            # charge() counts every batched unit; merge() folds the entry as
+            # one syscall (the pre-existing convention _account preserves).
+            self._syscalls += units - 1
+        return entry
+
+    def _account(self, entry: Charge) -> None:
+        """Fold one charge into the running totals (in append order)."""
+        seconds = entry.seconds
+        category = entry.category
+        domain = entry.cpu_domain
+        self._total_seconds += seconds
+        self._category_seconds[category] = (
+            self._category_seconds.get(category, 0.0) + seconds
+        )
+        self._domain_seconds[domain] = self._domain_seconds.get(domain, 0.0) + seconds
+        if domain is not CpuDomain.NONE:
+            self._cpu_seconds_all += seconds
+        if entry.nbytes:
+            if entry.copied:
+                self._copied_bytes += entry.nbytes
+            else:
+                self._reference_bytes += entry.nbytes
+        if category is CostCategory.SYSCALL:
+            self._syscalls += 1
         if category is CostCategory.CONTEXT_SWITCH:
             self._context_switches += 1
-        return entry
 
     def count_syscalls(self, count: int) -> None:
         """Record additional syscalls batched into a single charge."""
@@ -258,9 +285,16 @@ class CostLedger:
 
     def total_seconds(self) -> float:
         """Total simulated wall time of all charges."""
-        return sum(c.seconds for c in self._charges)
+        return self._total_seconds
 
     def seconds(self, *categories: CostCategory) -> float:
+        if len(categories) == 1:
+            # The running per-category total accumulates in exactly the order
+            # a filtered scan would visit, so the fast path is bit-identical.
+            return self._category_seconds.get(categories[0], 0.0)
+        # Multiple categories interleave in the charge stream; summing the
+        # per-category totals would reassociate the float additions, so keep
+        # the scan for the (cold) multi-category calls.
         wanted = set(categories)
         return sum(c.seconds for c in self._charges if c.category in wanted)
 
@@ -269,10 +303,8 @@ class CostLedger:
 
     def cpu_seconds(self, domain: Optional[CpuDomain] = None) -> float:
         if domain is None:
-            return sum(
-                c.seconds for c in self._charges if c.cpu_domain is not CpuDomain.NONE
-            )
-        return sum(c.seconds for c in self._charges if c.cpu_domain is domain)
+            return self._cpu_seconds_all
+        return self._domain_seconds.get(domain, 0.0)
 
     @property
     def copied_bytes(self) -> int:
@@ -304,24 +336,18 @@ class CostLedger:
 
     def breakdown(self) -> Dict[str, float]:
         """Seconds per category name (stable keys for reports)."""
-        out: Dict[str, float] = {}
-        for c in self._charges:
-            out[c.category.value] = out.get(c.category.value, 0.0) + c.seconds
-        return out
+        # _category_seconds shares both the first-seen key order and the
+        # per-key accumulation order of the old full scan.
+        return {
+            category.value: seconds
+            for category, seconds in self._category_seconds.items()
+        }
 
     def merge(self, other: "CostLedger") -> None:
         """Fold another ledger's charges into this one (no clock interaction)."""
         for c in other.charges:
             self._charges.append(c)
-            if c.nbytes:
-                if c.copied:
-                    self._copied_bytes += c.nbytes
-                else:
-                    self._reference_bytes += c.nbytes
-            if c.category is CostCategory.SYSCALL:
-                self._syscalls += 1
-            if c.category is CostCategory.CONTEXT_SWITCH:
-                self._context_switches += 1
+            self._account(c)
         for name, meter in other.meters().items():
             mine = self.meter(name)
             mine.allocate(meter.peak_bytes)
@@ -333,6 +359,10 @@ class CostLedger:
         self._reference_bytes = 0
         self._syscalls = 0
         self._context_switches = 0
+        self._total_seconds = 0.0
+        self._category_seconds.clear()
+        self._domain_seconds.clear()
+        self._cpu_seconds_all = 0.0
         self.clock.reset()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

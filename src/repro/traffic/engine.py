@@ -45,8 +45,10 @@ identical to the serial one under the same seeds.
 
 from __future__ import annotations
 
+import heapq
+
 from dataclasses import dataclass, field, replace
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 
 from typing import TYPE_CHECKING
 
@@ -178,6 +180,12 @@ class _Replica:
     rss_mb: float = 0.0
     #: Registration time, for RSS-seconds (footprint x residency) accounting.
     born_s: float = 0.0
+    #: The gateway's load-balancer state for this replica — held directly so
+    #: the hot path reads in-flight counts and releases without pool scans.
+    gw_state: Optional[object] = None
+    #: ``deployed.node_name`` cached as a plain attribute (property calls on
+    #: the deployment object showed up in million-request profiles).
+    node: str = ""
 
 
 @dataclass
@@ -204,14 +212,14 @@ class _TenantState:
     oom_evictions: int = 0
     rss_mb_seconds: float = 0.0  # integral of RSS over replica residency
     cpu_seconds: float = 0.0     # replica-busy seconds (hedged losers too)
+    # Spec-derived names, materialized once: these were properties, but the
+    # request path reads them several times per request.
+    name: str = field(init=False)
+    function: str = field(init=False)
 
-    @property
-    def name(self) -> str:
-        return self.spec.name
-
-    @property
-    def function(self) -> str:
-        return self.spec.function_name
+    def __post_init__(self) -> None:
+        self.name = self.spec.name
+        self.function = self.spec.function_name
 
 
 def _measure_service_time(mode: str, payload_bytes: int, cost_model: CostModel) -> float:
@@ -310,6 +318,14 @@ class MultiTenantTrafficEngine:
         #: Latency-waterfall rows of the last run (per tenant + cluster).
         self.waterfall: List[WaterfallRow] = []
         self._cluster_stream: Optional[StreamingTrafficStats] = None
+        #: Memoized (mode, payload) key sets per tenant spec, so repeated
+        #: runs of one engine skip re-scanning every request to learn which
+        #: service times to pre-measure.  Keyed by spec identity (the stored
+        #: spec reference keeps the id stable); sound because a spec's
+        #: seeded generation always yields the same payload set.
+        self._tenant_keys_cache: Dict[int, Tuple[TenantSpec, frozenset]] = {}
+        #: How many key-set derivations actually ran (tests pin the memo).
+        self.prefill_key_derivations = 0
 
     # -- public API -----------------------------------------------------------------
 
@@ -337,7 +353,14 @@ class MultiTenantTrafficEngine:
                 state.stream = StreamingTrafficStats(
                     declared_classes=state.spec.class_names
                 )
-            self._cluster_stream = StreamingTrafficStats()
+            if len(states) == 1 and not states[0].spec.class_names:
+                # Single classless tenant: the cluster rollup would observe
+                # exactly the tenant's records into an identical accumulator,
+                # so share one object and halve the sketch updates per
+                # request.  finish() skips the second observe on identity.
+                self._cluster_stream = states[0].stream
+            else:
+                self._cluster_stream = StreamingTrafficStats()
         telemetry = self.telemetry
         if self.config.parallel_nodes:
             self._prefill_service_cache(states)
@@ -400,11 +423,29 @@ class MultiTenantTrafficEngine:
         capacity = sum(cluster.node(name).cores for name in cluster.nodes)
         slots = max(capacity, int(capacity * self.oversubscription))
         arbiter = CapacityArbiter(slots, {state.name: state.spec.weight for state in states})
-        run_state = {"remaining": total_requests, "last_event_s": 0.0}
+        remaining = total_requests
+        last_event_s = 0.0
+        # Hot-path locals: every name hoisted here saves an attribute chase
+        # per request in the million-request regime.
+        clock = self.clock
+        queue = gateway.queue
+        per_replica_concurrency = self.config.per_replica_concurrency
+        parallel_nodes = self.config.parallel_nodes
+        max_queue = self.config.max_queue
+        queue_timeout_s = self.config.queue_timeout_s
+        service_cache = self._service_cache
+        cluster_stream = self._cluster_stream
+        cores = {name: cluster.node(name).cores for name in cluster.nodes}
+        #: Busy requests per node across all tenants, maintained incrementally
+        #: (+1 at every replica selection, -1 at every release) instead of
+        #: being rebuilt from gateway pool scans on every dispatch pass.
+        node_busy = {name: 0 for name in cluster.nodes}
 
         def note(now: float) -> None:
-            run_state["last_event_s"] = max(run_state["last_event_s"], now)
-            self.clock.advance_to(loop.now)
+            nonlocal last_event_s
+            if now > last_event_s:
+                last_event_s = now
+            clock.advance_to(loop.now)
 
         def finish(state: _TenantState, record: RequestRecord, node: str = "") -> None:
             """One request reached a terminal outcome: account it exactly once.
@@ -416,18 +457,20 @@ class MultiTenantTrafficEngine:
             expiries and sheds are never node-partitioned), so sketch
             updates and telemetry stay deterministic under parallel nodes.
             """
+            nonlocal remaining
             if retain:
                 state.records.append(record)
             else:
                 state.stream.observe(record)
-                self._cluster_stream.observe(record)
-            run_state["remaining"] -= 1
+                if cluster_stream is not state.stream:
+                    cluster_stream.observe(record)
+            remaining -= 1
             if telemetry is not None:
                 telemetry.on_request(state.name, record, node)
                 if telemetry.progress is not None:
                     telemetry.on_progress(
                         loop.now,
-                        total_requests - run_state["remaining"],
+                        total_requests - remaining,
                         sum(len(s.replicas) for s in states),
                     )
 
@@ -466,6 +509,10 @@ class MultiTenantTrafficEngine:
                 for state in states
             }
 
+        def warm_dispatch() -> None:
+            """A replica finished warming: queued work may now be servable."""
+            dispatch(loop.now)
+
         def add_replicas(state: _TenantState, count: int, now: float) -> None:
             """Register ``count`` replicas, each paying its modelled cold start.
 
@@ -487,12 +534,19 @@ class MultiTenantTrafficEngine:
                     idle_since=now + cold,
                     rss_mb=state.rss_mb,
                     born_s=now,
+                    node=deployed.node_name,
                 )
+                # Bind the gateway's load-balancer state both ways: the
+                # dispatch loop reads in-flight counts off the replica and
+                # maps selection results back without any name lookups.
+                gw_state = gateway.pool_states(state.function)[-1]
+                gw_state.handle = replica
+                replica.gw_state = gw_state
                 state.replicas.append(replica)
                 state.by_name[deployed.name] = replica
                 if memory is not None:
                     memory.allocate(deployed.node_name, state.rss_mb)
-                loop.schedule_at(now + cold, lambda: dispatch(loop.now), label="warm")
+                loop.schedule_at(now + cold, warm_dispatch, label="warm")
             if telemetry is not None and count > 0:
                 telemetry.on_scale(
                     state.name,
@@ -532,13 +586,10 @@ class MultiTenantTrafficEngine:
                 for node in sorted(node for node in cluster.nodes if memory.over_budget(node)):
                     best = None
                     for index, state in enumerate(states):
-                        if not state.replicas:
-                            continue
-                        counts = gateway.in_flight(state.function)
                         for replica in state.replicas:
-                            if replica.deployed.node_name != node:
+                            if replica.node != node:
                                 continue
-                            if counts[replica.deployed.name] != 0 or replica.ready_at > now:
+                            if replica.gw_state.in_flight != 0 or replica.ready_at > now:
                                 continue
                             key = (replica.idle_since, index, replica.deployed.name)
                             if best is None or key < best[0]:
@@ -557,40 +608,57 @@ class MultiTenantTrafficEngine:
                 if not evicted:
                     return
 
-        def load_snapshot() -> Tuple[Dict[str, int], Dict[str, Dict[str, int]]]:
-            """One pass over the gateway's in-flight counters.
-
-            Returns per-node busy totals (across *all* tenants' replicas —
-            the shared-core contention bound) plus each tenant's per-replica
-            counts, so one dispatch iteration builds the dicts exactly once.
-            """
-            busy: Dict[str, int] = {}
-            counts: Dict[str, Dict[str, int]] = {}
-            for state in states:
-                if not state.replicas:
-                    counts[state.name] = {}
-                    continue
-                tenant_counts = gateway.in_flight(state.function)
-                counts[state.name] = tenant_counts
-                for replica in state.replicas:
-                    node = replica.deployed.node_name
-                    busy[node] = busy.get(node, 0) + tenant_counts[replica.deployed.name]
-            return busy, counts
-
-        def eligible(
+        def finish_completion(
             state: _TenantState,
-            now: float,
-            busy: Dict[str, int],
-            counts: Dict[str, int],
-        ) -> List[_Replica]:
-            return [
-                replica
-                for replica in state.replicas
-                if replica.ready_at <= now
-                and counts[replica.deployed.name] < self.config.per_replica_concurrency
-                and busy.get(replica.deployed.node_name, 0)
-                < cluster.node(replica.deployed.node_name).cores
-            ]
+            record: RequestRecord,
+            replica: _Replica,
+            loser: Optional[_Replica],
+            completion: float,
+        ) -> None:
+            # Cross-node stage, serialized in exact time order: gateway
+            # bookkeeping and re-dispatch.
+            gateway.release_state(state.function, replica.gw_state)
+            node_busy[replica.node] -= 1
+            replica.idle_since = completion
+            if memory is not None:
+                # Replica-busy CPU: the loser of a hedge burned the same
+                # wall interval before its cancellation, so it pays too.
+                state.cpu_seconds += record.service_s
+            if loser is not None:
+                # The hedge's losing attempt is cancelled now: its replica
+                # frees the moment the winner answers the client.
+                gateway.release_state(state.function, loser.gw_state)
+                node_busy[loser.node] -= 1
+                loser.idle_since = completion
+                if memory is not None:
+                    state.cpu_seconds += record.service_s
+            resolve(state, record, node=replica.node)
+            dispatch(loop.now)
+
+        def complete_event(
+            state: _TenantState,
+            request: Request,
+            replica: _Replica,
+            loser: Optional[_Replica],
+            dispatched: float,
+            completion: float,
+            cold_wait: float,
+        ) -> None:
+            # Serial completion path: one shared function fed per-event
+            # ``args`` — no closure pair allocated per request.
+            record = RequestRecord(
+                request_id=request.request_id,
+                function=state.function,
+                outcome=RequestOutcome.COMPLETED,
+                arrival_s=request.arrival_s,
+                dispatch_s=dispatched,
+                completion_s=completion,
+                replica=replica.deployed.name,
+                cold_start_wait_s=cold_wait,
+                request_class=request.request_class,
+                deadline_s=request.deadline_s,
+            )
+            finish_completion(state, record, replica, loser, completion)
 
         def dispatch(now: float) -> None:
             """Move queued requests onto available replicas.
@@ -604,20 +672,28 @@ class MultiTenantTrafficEngine:
             """
             while True:
                 served = False
-                busy, counts = load_snapshot()
-                for tenant_name in gateway.queue.dispatch_order():
+                for tenant_name in queue.dispatch_order():
                     state = by_tenant[tenant_name]
-                    candidates = eligible(state, now, busy, counts[state.name])
+                    candidates = [
+                        replica
+                        for replica in state.replicas
+                        if replica.ready_at <= now
+                        and replica.gw_state.in_flight < per_replica_concurrency
+                        and node_busy[replica.node] < cores[replica.node]
+                    ]
                     if not candidates:
                         continue
-                    request = gateway.queue.peek(tenant_name)
-                    service = self._service_time(state.spec.mode, request.payload_bytes)
+                    request = queue.peek(tenant_name)
+                    key = (state.spec.mode, request.payload_bytes)
+                    service = service_cache.get(key)
+                    if service is None:
+                        service = self._service_time(key[0], key[1])
                     if (
                         request.hard
                         and request.deadline_s is not None
                         and now + service > request.deadline_s
                     ):
-                        gateway.queue.shed_head(tenant_name)
+                        queue.shed_head(tenant_name)
                         resolve(
                             state,
                             RequestRecord(
@@ -631,7 +707,7 @@ class MultiTenantTrafficEngine:
                         )
                         served = True
                         break  # re-evaluate: the tenant's next head may serve
-                    gateway.queue.pop(tenant_name)
+                    queue.pop(tenant_name)
                     # Give the pipeline's dispatch hooks a say: the hedge
                     # stage applies its seeded straggler jitter and decides
                     # whether a backup attempt races on a spare replica.
@@ -645,24 +721,27 @@ class MultiTenantTrafficEngine:
                             service = plan.service_s
                     loser: Optional[_Replica] = None
                     if plan is not None and plan.hedged and len(candidates) > 1:
-                        deployed = gateway.route_among(
-                            state.function, [replica.deployed for replica in candidates]
+                        primary_gw = gateway.select_replica(
+                            state.function,
+                            [replica.gw_state for replica in candidates],
                         )
-                        primary = state.by_name[deployed.name]
-                        hedge_deployed = gateway.route_among(
+                        primary = primary_gw.handle
+                        hedge_gw = gateway.select_replica(
                             state.function,
                             [
-                                replica.deployed
+                                replica.gw_state
                                 for replica in candidates
-                                if replica.deployed is not deployed
+                                if replica.gw_state is not primary_gw
                             ],
                         )
-                        hedge = state.by_name[hedge_deployed.name]
+                        hedge = hedge_gw.handle
+                        node_busy[primary.node] += 1
+                        node_busy[hedge.node] += 1
                         primary_done, hedge_offset = plan.completion_offsets()
                         if memory is not None:
                             # Each attempt slows by its own node's pressure.
-                            primary_done *= memory.inflation(primary.deployed.node_name)
-                            hedge_offset *= memory.inflation(hedge.deployed.node_name)
+                            primary_done *= memory.inflation(primary.node)
+                            hedge_offset *= memory.inflation(hedge.node)
                         # First finisher wins; the loser is cancelled (and
                         # its replica released) at the winner's completion.
                         if now + hedge_offset < now + primary_done:
@@ -672,82 +751,79 @@ class MultiTenantTrafficEngine:
                             replica, loser = primary, hedge
                             completion = now + primary_done
                     else:
-                        deployed = gateway.route_among(
-                            state.function, [replica.deployed for replica in candidates]
+                        chosen = gateway.select_replica(
+                            state.function,
+                            [replica.gw_state for replica in candidates],
                         )
-                        replica = state.by_name[deployed.name]
+                        replica = chosen.handle
+                        node_busy[replica.node] += 1
                         if memory is not None:
                             # Memory pressure on the chosen node slows the
                             # service; the EWMA below sees the inflated time,
                             # so scaling decisions feel the pressure too.
-                            service = service * memory.inflation(replica.deployed.node_name)
+                            service = service * memory.inflation(replica.node)
                         completion = now + service
                     # Feed the measured service time back into the queue's
                     # per-tenant EWMA: later enqueues snapshot it as their
                     # wfq-cost tag advance, and the autoscaler reads it as
                     # the Little's-law service-time estimate.
-                    gateway.queue.record_service_cost(tenant_name, service)
+                    queue.record_service_cost(tenant_name, service)
                     # The part of this request's wait actually spent watching
                     # its replica cold-start: the overlap of [arrival,
                     # dispatch] with the warm-up window, not the whole delay.
                     cold_wait = max(0.0, min(replica.cold_s, replica.ready_at - request.arrival_s))
                     note(completion)
 
-                    def complete(
-                        state: _TenantState = state,
-                        request: Request = request,
-                        replica: _Replica = replica,
-                        loser: Optional[_Replica] = loser,
-                        dispatched: float = now,
-                        completion: float = completion,
-                        cold_wait: float = cold_wait,
-                    ):
-                        # Node-local stage: build the completion record from
-                        # values captured at dispatch.  Runs concurrently
-                        # across nodes under --parallel-nodes, charging (and
-                        # touching) nothing shared.
-                        record = RequestRecord(
-                            request_id=request.request_id,
-                            function=state.function,
-                            outcome=RequestOutcome.COMPLETED,
-                            arrival_s=request.arrival_s,
-                            dispatch_s=dispatched,
-                            completion_s=completion,
-                            replica=replica.deployed.name,
-                            cold_start_wait_s=cold_wait,
-                            request_class=request.request_class,
-                            deadline_s=request.deadline_s,
+                    if parallel_nodes:
+                        # Parallel nodes need the action/join split: the
+                        # record is built node-locally (concurrently), the
+                        # gateway bookkeeping joins in global time order.
+                        # Both paths produce the identical record.
+                        def complete(
+                            state: _TenantState = state,
+                            request: Request = request,
+                            replica: _Replica = replica,
+                            loser: Optional[_Replica] = loser,
+                            dispatched: float = now,
+                            completion: float = completion,
+                            cold_wait: float = cold_wait,
+                        ):
+                            # Node-local stage: build the completion record
+                            # from values captured at dispatch, charging
+                            # (and touching) nothing shared.
+                            record = RequestRecord(
+                                request_id=request.request_id,
+                                function=state.function,
+                                outcome=RequestOutcome.COMPLETED,
+                                arrival_s=request.arrival_s,
+                                dispatch_s=dispatched,
+                                completion_s=completion,
+                                replica=replica.deployed.name,
+                                cold_start_wait_s=cold_wait,
+                                request_class=request.request_class,
+                                deadline_s=request.deadline_s,
+                            )
+
+                            def join() -> None:
+                                finish_completion(
+                                    state, record, replica, loser, completion
+                                )
+
+                            return join
+
+                        loop.schedule_at(
+                            completion,
+                            complete,
+                            label="complete",
+                            partition=replica.node,
                         )
-
-                        def join() -> None:
-                            # Cross-node stage, serialized in exact time
-                            # order: gateway bookkeeping and re-dispatch.
-                            gateway.release(state.function, replica.deployed)
-                            replica.idle_since = completion
-                            if memory is not None:
-                                # Replica-busy CPU: the loser of a hedge
-                                # burned the same wall interval before its
-                                # cancellation, so it pays too.
-                                state.cpu_seconds += record.service_s
-                            if loser is not None:
-                                # The hedge's losing attempt is cancelled
-                                # now: its replica frees the moment the
-                                # winner answers the client.
-                                gateway.release(state.function, loser.deployed)
-                                loser.idle_since = completion
-                                if memory is not None:
-                                    state.cpu_seconds += record.service_s
-                            resolve(state, record, node=replica.deployed.node_name)
-                            dispatch(loop.now)
-
-                        return join
-
-                    loop.schedule_at(
-                        completion,
-                        complete,
-                        label="complete",
-                        partition=replica.deployed.node_name,
-                    )
+                    else:
+                        loop.schedule_at(
+                            completion,
+                            complete_event,
+                            label="complete",
+                            args=(state, request, replica, loser, now, completion, cold_wait),
+                        )
                     served = True
                     break  # re-evaluate fair order after every dispatch
                 if not served:
@@ -791,11 +867,11 @@ class MultiTenantTrafficEngine:
                 # Transformed requests dispatch under their overridden keys.
                 priority = ctx.data.get("priority", priority)
                 deadline = ctx.data.get("deadline_s", deadline)
-            admitted = gateway.queue.enqueue(
+            admitted = queue.enqueue(
                 state.name,
                 request.request_id,
                 request,
-                limit=self.config.max_queue,
+                limit=max_queue,
                 priority=priority,
                 deadline=deadline,
             )
@@ -812,16 +888,25 @@ class MultiTenantTrafficEngine:
                     ),
                 )
                 return
-            loop.schedule_at(
-                request.arrival_s + self.config.queue_timeout_s,
-                lambda: expire(state, request),
-                label="timeout",
-            )
+            # The timeout event is only materialized if the request is still
+            # waiting after the dispatch pass — most requests dispatch
+            # immediately and never need one.  Its tie-break slot is
+            # reserved *before* dispatching, so when it is scheduled it
+            # sorts exactly where an eagerly scheduled timeout would have.
+            timeout_order = loop.reserve_orders(1)
             dispatch(loop.now)
+            if queue.is_queued(state.name, request.request_id):
+                loop.schedule_at(
+                    request.arrival_s + queue_timeout_s,
+                    expire,
+                    label="timeout",
+                    args=(state, request),
+                    order=timeout_order,
+                )
 
         def expire(state: _TenantState, request: Request) -> None:
             """Time out a request still waiting when its patience ran out."""
-            if not gateway.queue.cancel(state.name, request.request_id):
+            if not queue.cancel(state.name, request.request_id):
                 return
             resolve(
                 state,
@@ -837,7 +922,7 @@ class MultiTenantTrafficEngine:
             note(loop.now)
 
         def control_tick(state: _TenantState) -> None:
-            if run_state["remaining"] <= 0:
+            if remaining <= 0:
                 return
             now = loop.now
             interval = now - state.last_tick_s
@@ -862,7 +947,7 @@ class MultiTenantTrafficEngine:
                 if telemetry.progress is not None:
                     telemetry.on_progress(
                         now,
-                        total_requests - run_state["remaining"],
+                        total_requests - remaining,
                         sum(len(s.replicas) for s in states),
                     )
             if decision.scale_up:
@@ -891,18 +976,22 @@ class MultiTenantTrafficEngine:
             costs RSS-seconds, and that is only worth paying while the
             node's memory is cheap.
             """
-            counts = gateway.in_flight(state.function) if state.replicas else {}
-            idle = sorted(
+            # ``nsmallest(count, ...)`` is documented equivalent to
+            # ``sorted(...)[:count]`` (stable for ties), so the reclaim
+            # order is unchanged — it just stops sorting the whole pool to
+            # drop a couple of replicas.
+            removed = heapq.nsmallest(
+                count,
                 (
                     replica
                     for replica in state.replicas
-                    if counts[replica.deployed.name] == 0
+                    if replica.gw_state.in_flight == 0
                     and replica.ready_at <= now
                     and state.autoscaler.reclaimable(
                         now,
                         replica.idle_since,
                         memory_pressure=(
-                            memory.pressure(replica.deployed.node_name)
+                            memory.pressure(replica.node)
                             if memory is not None
                             else 0.0
                         ),
@@ -910,7 +999,6 @@ class MultiTenantTrafficEngine:
                 ),
                 key=lambda replica: replica.idle_since,
             )
-            removed = idle[:count]
             for replica in removed:
                 drop_replica(state, replica, now)
             if telemetry is not None and removed:
@@ -932,20 +1020,58 @@ class MultiTenantTrafficEngine:
                     0.0,
                 )
             state.timeline.append((0.0, len(state.replicas)))
-        arrival_order = sorted(
-            (
-                (request.arrival_s, index, request.request_id, state, request)
-                for index, state in enumerate(states)
-                for request in state.requests
-            ),
-            key=lambda entry: entry[:3],
-        )
-        for _, _, _, state, request in arrival_order:
+        # Arrivals are *not* pre-scheduled: a million heap entries up front
+        # would dominate the run's memory and heap-sift work.  Instead the
+        # per-tenant streams — each already in (arrival_s, request_id) order —
+        # are lazily merged, one order slot per arrival is reserved so
+        # tie-breaking matches the old pre-scheduled order exactly, and each
+        # arrival event chains the next one from the merged iterator.
+        def tenant_entries(
+            index: int, state: _TenantState, requests: Sequence[Request]
+        ) -> "Iterator[Tuple[float, int, int, _TenantState, Request]]":
+            for request in requests:
+                yield (request.arrival_s, index, request.request_id, state, request)
+
+        streams = []
+        for index, state in enumerate(states):
+            requests = state.requests
+            if any(
+                (left.arrival_s, left.request_id) > (right.arrival_s, right.request_id)
+                for left, right in zip(requests, requests[1:])
+            ):
+                # Explicit request lists may arrive unordered; generated
+                # streams never do and skip the copy.
+                requests = sorted(
+                    requests, key=lambda request: (request.arrival_s, request.request_id)
+                )
+            streams.append(tenant_entries(index, state, requests))
+        # ``heapq.merge`` with already-sorted streams reproduces the old
+        # ``sorted(all_entries, key=entry[:3])`` order: keys differ across
+        # tenants (the index is part of the key) and within a tenant the
+        # stream order is preserved for ties, exactly like a stable sort.
+        arrival_iter = heapq.merge(*streams, key=lambda entry: entry[:3])
+        arrival_base = loop.reserve_orders(total_requests)
+        arrival_slot = 0
+
+        def advance_arrivals() -> None:
+            nonlocal arrival_slot
+            entry = next(arrival_iter, None)
+            if entry is None:
+                return
             loop.schedule_at(
-                request.arrival_s,
-                lambda state=state, request=request: arrive(state, request),
+                entry[0],
+                arrival_event,
                 label="arrive",
+                args=(entry[3], entry[4]),
+                order=arrival_base + arrival_slot,
             )
+            arrival_slot += 1
+
+        def arrival_event(state: _TenantState, request: Request) -> None:
+            arrive(state, request)
+            advance_arrivals()
+
+        advance_arrivals()
         for state in states:
             loop.schedule(
                 state.autoscaler.control_interval_s,
@@ -957,15 +1083,19 @@ class MultiTenantTrafficEngine:
         else:
             loop.run()
 
-        if run_state["remaining"] != 0:
+        if remaining != 0:
             raise TrafficEngineError(
-                "engine finished with %d unresolved requests" % run_state["remaining"]
+                "engine finished with %d unresolved requests" % remaining
             )
+        # The routing fast path accumulated its per-request ingress
+        # overheads instead of charging each one; settle them now, before
+        # any ledger rollup is read.
+        gateway.flush_deferred_ingress()
         last_arrival = max(
             (request.arrival_s for state in states for request in state.requests),
             default=0.0,
         )
-        duration = max(run_state["last_event_s"], last_arrival)
+        duration = max(last_event_s, last_arrival)
         if memory is not None:
             # Survivors' RSS-seconds: replicas still warm at the end of the
             # run occupied their footprint until the run's last event.
@@ -1131,14 +1261,19 @@ class MultiTenantTrafficEngine:
         event loop itself parallelize at the whole-run level instead
         (:func:`run_comparison` / ``compare_scaling_policies``).
         """
-        needed = sorted(
-            {
-                (state.spec.mode, request.payload_bytes)
-                for state in states
-                for request in state.requests
-            }
-            - set(self._service_cache)
-        )
+        wanted: set = set()
+        for state in states:
+            cached = self._tenant_keys_cache.get(id(state.spec))
+            if cached is not None and cached[0] is state.spec:
+                wanted |= cached[1]
+                continue
+            keys = frozenset(
+                (state.spec.mode, request.payload_bytes) for request in state.requests
+            )
+            self._tenant_keys_cache[id(state.spec)] = (state.spec, keys)
+            self.prefill_key_derivations += 1
+            wanted |= keys
+        needed = sorted(wanted - set(self._service_cache))
         if not needed:
             return
         results = parallel_map(
@@ -1153,10 +1288,17 @@ def _merge_timelines(
     timelines: Sequence[Sequence[Tuple[float, int]]],
 ) -> List[Tuple[float, int]]:
     """Sum per-tenant (time, pool size) step functions into a cluster total."""
-    events = sorted(
-        (time_s, index, count)
-        for index, timeline in enumerate(timelines)
-        for time_s, count in timeline
+    # Each tenant's timeline is appended in event order (non-decreasing
+    # time), so an N-way merge replaces the global sort.  The per-stream
+    # sort is near-free on the almost-sorted input; it only reorders
+    # same-instant entries by count, reproducing the full-tuple order the
+    # replaced ``sorted()`` imposed (cross-stream ties already fall to the
+    # tenant index inside each entry).
+    events = heapq.merge(
+        *(
+            sorted((time_s, index, count) for time_s, count in timeline)
+            for index, timeline in enumerate(timelines)
+        )
     )
     current = [0] * len(timelines)
     merged: List[Tuple[float, int]] = []
@@ -1168,6 +1310,22 @@ def _merge_timelines(
         else:
             merged.append((time_s, total))
     return merged
+
+
+def _ordered_requests(requests: Sequence[Request]) -> Tuple[Request, ...]:
+    """The stream in canonical (arrival, id) order, without a needless copy.
+
+    ``run_comparison`` orders the stream once and hands the same tuple to
+    every compared engine; each engine re-checks instead of re-sorting, so
+    an already-ordered stream (the common case — generators emit arrivals
+    in order) passes through untouched.
+    """
+    if all(
+        (left.arrival_s, left.request_id) <= (right.arrival_s, right.request_id)
+        for left, right in zip(requests, requests[1:])
+    ):
+        return requests if isinstance(requests, tuple) else tuple(requests)
+    return tuple(sorted(requests, key=lambda r: (r.arrival_s, r.request_id)))
 
 
 class TrafficEngine:
@@ -1214,7 +1372,7 @@ class TrafficEngine:
                 "the engine serves one function per run, got %s" % sorted(functions)
             )
         function = requests[0].function
-        ordered = tuple(sorted(requests, key=lambda r: (r.arrival_s, r.request_id)))
+        ordered = _ordered_requests(requests)
         # Internal tenant label (the old engine's spec tenant): the caller's
         # function name stays free of the multi-tenant name rules.
         tenant = TenantSpec(
@@ -1317,7 +1475,7 @@ def run_comparison(
             "telemetry sinks cannot cross process boundaries; "
             "run the comparison serially to attach telemetry"
         )
-    ordered = tuple(sorted(requests, key=lambda r: (r.arrival_s, r.request_id)))
+    ordered = _ordered_requests(requests)
     jobs = [
         (
             mode,

@@ -101,3 +101,19 @@ def test_manifest_written_next_to_figure_export(tmp_path):
     manifest = json.load(open(os.path.join(str(tmp_path), "manifest.json"), encoding="utf-8"))
     names = [os.path.basename(p) for p in manifest["outputs"]]
     assert "traffic.csv" in names and "m.prom" in names
+
+
+def test_profile_flag_writes_loadable_pstats_artifact(tmp_path):
+    import pstats
+
+    profile_path = str(tmp_path / "traffic.pstats")
+    code, out, err = _run(_quick("--sketch-mode", "--profile", profile_path))
+    assert code == 0
+    assert os.path.exists(profile_path)
+    # The dump must be a real pstats file, and the hot path must be in it.
+    stats = pstats.Stats(profile_path)
+    functions = {func_name for _, _, func_name in stats.stats}
+    assert any("dispatch" in name for name in functions)
+    # The top-of-profile table lands on stderr so stdout stays parseable.
+    assert "cumulative" in err
+    assert profile_path in err
