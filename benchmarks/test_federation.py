@@ -1,0 +1,101 @@
+"""Benchmark: regional failure and spillover in the federated traffic engine.
+
+Not a paper figure — the geo-distributed regime the ROADMAP's federation
+item targets: several WAN-linked regional clusters behind one global
+router, with one region failing mid-run.  The assertions pin the
+availability property the federation must keep: under byte-identical
+seeded arrivals, killing a region mid-run costs at most 10% of the
+no-failure run's goodput, because the router spills the dead region's
+load into the survivors (paying WAN transfer, not losing requests).
+"""
+
+import pytest
+
+from repro.traffic import (
+    ClusterSpec,
+    FederatedTrafficEngine,
+    PoissonArrivals,
+    TenantSpec,
+    TrafficConfig,
+)
+
+DURATION_S = 20.0
+PAYLOAD_MB = 2.0
+WAN_RTT_S = 0.080
+WAN_BANDWIDTH_BPS = 250e6 / 8.0
+
+REGIONS = ("eu-west", "us-east", "ap-south")
+
+
+def _tenants():
+    return [
+        TenantSpec(
+            name="app-%s" % region,
+            mode="roadrunner-user",
+            arrivals=PoissonArrivals(
+                rate_rps=40.0, duration_s=DURATION_S,
+                function="app-%s" % region, payload_mb=PAYLOAD_MB,
+                seed=21 + index,
+            ),
+        )
+        for index, region in enumerate(REGIONS)
+    ]
+
+
+def _run(fail_at=None):
+    engine = FederatedTrafficEngine(
+        _tenants(),
+        [
+            ClusterSpec(region=region, nodes=4, tenants=("app-%s" % region,))
+            for region in REGIONS
+        ],
+        config=TrafficConfig(nodes=4, initial_replicas=1),
+        router="locality",
+        wan_rtt_s=WAN_RTT_S,
+        wan_bandwidth_Bps=WAN_BANDWIDTH_BPS,
+        fail_at=fail_at,
+    )
+    return engine.run()
+
+
+def test_spillover_keeps_goodput_within_10pct_of_no_failure(benchmark):
+    def run():
+        return _run(), _run(fail_at={"us-east": DURATION_S / 4.0})
+
+    healthy, degraded = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    # Identical seeded arrivals: both runs offered exactly the same load.
+    assert degraded.cluster.offered == healthy.cluster.offered
+    assert degraded.failed_regions == ("us-east",)
+
+    # The dead region's post-failure arrivals spilled over the WAN instead
+    # of being lost.
+    assert degraded.router.spillovers > 0
+    assert degraded.router.wan_bytes > healthy.router.wan_bytes
+    survivors_served = sum(
+        degraded.region(region).tenants["app-us-east"].completed
+        for region in REGIONS
+        if region != "us-east"
+    )
+    assert survivors_served > 0
+
+    # The availability headline: losing one of three regions costs at most
+    # 10% of goodput.
+    assert degraded.cluster.goodput_rps >= 0.90 * healthy.cluster.goodput_rps, (
+        "goodput degraded %.1f -> %.1f rps"
+        % (healthy.cluster.goodput_rps, degraded.cluster.goodput_rps)
+    )
+
+
+def test_locality_federation_conserves_every_request(benchmark):
+    summary = benchmark.pedantic(_run, rounds=1, iterations=1)
+    accounted = (
+        summary.cluster.completed
+        + summary.cluster.timed_out
+        + summary.cluster.dropped
+        + summary.cluster.shed
+    )
+    assert accounted == summary.cluster.offered
+    assert summary.cluster.completed == summary.cluster.offered
+    # Per-region placements sum to the global offered load.
+    assert sum(summary.router.placements.values()) == summary.cluster.offered

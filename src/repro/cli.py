@@ -44,15 +44,17 @@ from repro.gateway.middleware import (
     build_pipeline,
 )
 from repro.metrics.export import (
+    federation_to_figure,
     multi_tenant_to_figure,
     node_usage_to_figure,
     policies_to_figure,
     traffic_to_figure,
     write_figure,
 )
-from repro.metrics.timeline import export_traffic_trace
+from repro.metrics.timeline import export_federation_trace, export_traffic_trace
 from repro.obs import (
     JsonlEventWriter,
+    MetricsRegistry,
     ProgressReporter,
     Telemetry,
     TraceLog,
@@ -75,6 +77,12 @@ from repro.traffic.engine import (
     TrafficEngineError,
     run_comparison,
 )
+from repro.traffic.federation import (
+    ROUTER_POLICIES,
+    FederatedTrafficEngine,
+    parse_clusters,
+    parse_fail_spec,
+)
 from repro.traffic.policies import (
     SCALING_POLICIES,
     autoscaler_factory,
@@ -82,6 +90,7 @@ from repro.traffic.policies import (
     policy_cluster_summaries,
 )
 from repro.traffic.report import (
+    render_federation_report,
     render_middleware_table,
     render_multi_tenant_report,
     render_policy_comparison,
@@ -329,7 +338,16 @@ def _cmd_traffic(args: argparse.Namespace) -> int:
                 "ignoring it",
                 file=sys.stderr,
             )
-        return _cmd_compare_policies(args, classes, config_kwargs)
+        if args.clusters:
+            print(
+                "note: --clusters is not wired into --compare-policies runs; "
+                "ignoring it",
+                file=sys.stderr,
+            )
+        return _cmd_compare_policies(args, classes, config_kwargs, started_wall)
+
+    if args.clusters:
+        return _cmd_federation(args, classes, config_kwargs, factory, started_wall)
 
     if args.tenants:
         # Multi-tenant path: several named functions over one shared cluster,
@@ -463,7 +481,116 @@ def _cmd_traffic(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_compare_policies(args: argparse.Namespace, classes, config_kwargs: dict) -> int:
+def _cmd_federation(
+    args: argparse.Namespace,
+    classes,
+    config_kwargs: dict,
+    factory,
+    started_wall: float,
+) -> int:
+    """Multi-region run: --clusters JSON, a global router, optional WAN/failures."""
+    try:
+        clusters = parse_clusters(args.clusters)
+        fail_at: Dict[str, float] = {}
+        for spec in args.fail_region or []:
+            region, time_s = parse_fail_spec(spec)
+            fail_at[region] = time_s
+        default_mode = args.modes.split(",")[0].strip() or "roadrunner-user"
+        if args.tenants:
+            tenants = parse_tenants(
+                args.tenants,
+                default_mode=default_mode,
+                base_seed=args.seed,
+                default_duration=args.duration,
+                default_classes=classes,
+            )
+        else:
+            tenants = [
+                TenantSpec(
+                    name="app",
+                    mode=default_mode,
+                    arrivals=_make_arrivals(args),
+                    classes=classes,
+                    pattern=args.pattern,
+                )
+            ]
+        intra = _intra_order(
+            args, bool(classes) or any(tenant.classes for tenant in tenants)
+        )
+        wants_telemetry = _wants_telemetry(args)
+        # One telemetry stack per region over ONE shared registry: every
+        # family carries a region label, so --metrics-out stays a single
+        # Prometheus snapshot with per-region children.
+        shared_registry = MetricsRegistry() if wants_telemetry else None
+
+        def telemetry_for(region: str) -> Telemetry:
+            return Telemetry(
+                registry=shared_registry,
+                trace_log=TraceLog() if args.trace_out else None,
+                events=(
+                    JsonlEventWriter(_suffixed(args.events_out, region))
+                    if args.events_out
+                    else None
+                ),
+                region=region,
+            )
+
+        engine = FederatedTrafficEngine(
+            tenants,
+            clusters,
+            config=TrafficConfig(**config_kwargs),
+            fairness=FairnessPolicy(args.fairness),
+            starvation_guard=args.starvation_guard,
+            autoscaler_factory=factory,
+            oversubscription=args.oversubscription,
+            intra=intra,
+            router=args.global_router,
+            router_seed=args.seed,
+            wan_rtt_s=args.wan_ms / 1000.0 if args.wan_ms is not None else None,
+            wan_bandwidth_Bps=(
+                args.wan_mbps * 1e6 / 8.0 if args.wan_mbps is not None else None
+            ),
+            telemetry_factory=telemetry_for if wants_telemetry else None,
+            middleware_factory=(
+                (lambda region: _build_middleware(args)) if args.middleware else None
+            ),
+            fail_at=fail_at or None,
+        )
+        summary = engine.run()
+    except (ValueError, TenantError, TrafficEngineError, AutoscalerError) as exc:
+        print("invalid traffic parameters: %s" % exc, file=sys.stderr)
+        return 2
+    print(render_federation_report(summary))
+    outputs: List[str] = []
+    for region, telemetry in engine.telemetries.items():
+        if telemetry.events is not None:
+            if telemetry.events.path:
+                outputs.append(telemetry.events.path)
+            telemetry.events.close()
+    if args.metrics_out and shared_registry is not None:
+        outputs.append(write_prometheus(shared_registry, args.metrics_out))
+    if args.trace_out and engine.telemetries:
+        traces = {
+            region: telemetry.trace_log.traces
+            for region, telemetry in engine.telemetries.items()
+            if telemetry.trace_log is not None
+        }
+        outputs.append(export_federation_trace(args.trace_out, traces))
+    for path in outputs:
+        print("wrote %s" % path)
+    if args.export:
+        path = write_figure(federation_to_figure(summary), args.export, fmt=args.format)
+        outputs.append(path)
+        print("\nwrote %s" % path)
+    manifest = _write_manifest(args, outputs, started_wall)
+    if manifest:
+        print("wrote %s" % manifest)
+    return 0
+
+
+def _cmd_compare_policies(
+    args: argparse.Namespace, classes, config_kwargs: dict, started_wall: float
+) -> int:
     """Run the same seeded arrivals under each --compare-policies policy."""
     names = [name.strip() for name in args.compare_policies.split(",") if name.strip()]
     if not names:
@@ -515,9 +642,14 @@ def _cmd_compare_policies(args: argparse.Namespace, classes, config_kwargs: dict
         return 2
     clusters = policy_cluster_summaries(results)
     print(render_policy_comparison(clusters))
+    outputs: List[str] = []
     if args.export:
         path = write_figure(policies_to_figure(clusters), args.export, fmt=args.format)
+        outputs.append(path)
         print("\nwrote %s" % path)
+    manifest = _write_manifest(args, outputs, started_wall)
+    if manifest:
+        print("wrote %s" % manifest)
     return 0
 
 
@@ -649,6 +781,42 @@ def build_parser() -> argparse.ArgumentParser:
         "keys: name, pattern, rps, duration, payload_mb, seed (derived from "
         "--seed and the name when omitted), weight, mode, burst_on, burst_off, "
         "period, trough_rps",
+    )
+    traffic.add_argument(
+        "--clusters", metavar="JSON",
+        help="federated multi-region run: a JSON array (inline or a file path) "
+        "of cluster objects, e.g. "
+        '\'[{"region": "eu-west", "nodes": 4, "tenants": ["steady"]}, '
+        '{"region": "us-east", "nodes": 2}]\'; '
+        "keys: region, nodes, memory_mb, initial_replicas, concurrency, "
+        "tenants (names homed there; unlisted tenants land in the first "
+        "cluster).  Arrivals enter at each tenant's home region and the "
+        "--global-router places them; remote placements pay the WAN "
+        "(--wan-ms/--wan-mbps)",
+    )
+    traffic.add_argument(
+        "--global-router", choices=ROUTER_POLICIES, default="locality",
+        help="federated placement policy: locality (home region unless "
+        "saturated/failed), least-loaded (global queue+flight minimum), "
+        "warmth (most warm idle replicas), data-gravity (sticky per "
+        "tenant+payload), random (seeded baseline); spillover to the "
+        "next-best region on saturation or regional failure",
+    )
+    traffic.add_argument(
+        "--wan-ms", type=float, default=None,
+        help="federated runs: WAN round-trip time between any two regions, "
+        "in milliseconds (default: the net model's WAN profile)",
+    )
+    traffic.add_argument(
+        "--wan-mbps", type=float, default=None,
+        help="federated runs: WAN bandwidth between any two regions, in "
+        "megabits per second (default: the net model's WAN profile)",
+    )
+    traffic.add_argument(
+        "--fail-region", action="append", metavar="REGION@SECONDS",
+        help="federated runs: fail the named region at the given simulated "
+        "time (repeatable), e.g. --fail-region eu-west@30; queued and "
+        "in-flight-to-the-region requests fail over across the WAN",
     )
     traffic.add_argument(
         "--classes",

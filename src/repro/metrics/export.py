@@ -348,6 +348,133 @@ def policies_to_figure(
     return traffic_to_figure(results, figure=figure, title=title, x_label="policy", notes=notes)
 
 
+#: Per-region series of a federation figure's ``regions`` panel.  The
+#: placement/failure pair varies per region; the router aggregates repeat on
+#: every row (the long-form CSV needs one value per x position).
+_FEDERATION_REGION_SERIES = (
+    "placements",
+    "failed",
+    "local",
+    "remote",
+    "spillovers",
+    "failovers",
+    "wan_seconds",
+    "wan_bytes",
+)
+
+
+def federation_to_figure(
+    summary,
+    figure: str = "traffic-federation",
+    title: str = "Federated multi-region traffic summary",
+    notes: str = "",
+):
+    """Flatten a FederationSummary: one x position per region plus the rollup.
+
+    Each region's cluster-wide :class:`~repro.traffic.slo.TrafficSummary`
+    exports through :func:`traffic_to_figure` unchanged (so every latency
+    panel, counter and class series round-trips), and a ``regions`` panel
+    adds the router's view: per-region placements, failure flags, and the
+    WAN/spillover aggregates.  Figures written before federation existed
+    simply lack the panel — :func:`federation_from_figure` parses them with
+    zeroed router stats instead of raising.
+    """
+    labelled: Dict[str, Any] = {
+        region: region_summary.cluster
+        for region, region_summary in summary.regions.items()
+    }
+    if "federation" in labelled:
+        raise ExportError("region name 'federation' collides with the rollup row")
+    labelled["federation"] = summary.cluster
+    stats = summary.router
+    if not notes:
+        notes = "router=%s home=%s" % (
+            stats.policy,
+            json.dumps(dict(summary.home), sort_keys=True),
+        )
+    result = traffic_to_figure(
+        labelled, figure=figure, title=title, x_label="region", notes=notes
+    )
+    total_placed = sum(stats.placements.values())
+    for label in result.x_values:
+        rollup = label == "federation"
+        result.add_point(
+            "regions",
+            "placements",
+            total_placed if rollup else stats.placements.get(label, 0),
+        )
+        result.add_point(
+            "regions",
+            "failed",
+            len(summary.failed_regions) if rollup else int(label in summary.failed_regions),
+        )
+        result.add_point("regions", "local", stats.local)
+        result.add_point("regions", "remote", stats.remote)
+        result.add_point("regions", "spillovers", stats.spillovers)
+        result.add_point("regions", "failovers", stats.failovers)
+        result.add_point("regions", "wan_seconds", stats.wan_seconds)
+        result.add_point("regions", "wan_bytes", stats.wan_bytes)
+        result.add_point("meta", "router_policy", stats.policy)
+    return result
+
+
+def federation_from_figure(figure) -> Dict[str, Any]:
+    """Invert :func:`federation_to_figure`.
+
+    Returns ``{"regions": {region: TrafficSummary}, "cluster":
+    TrafficSummary, "router": RouterStats, "failed_regions": (...)}``.
+    Tolerant of figures written before the ``regions`` panel existed (a
+    plain traffic figure parses back with zeroed router stats and no
+    failures), so old artifacts keep loading.
+    """
+    from repro.traffic.federation import RouterStats
+
+    summaries = traffic_from_figure(figure)
+    cluster = summaries.pop("federation", None)
+    regions_panel = figure.panels.get("regions", {})
+    meta = figure.panels.get("meta", {})
+
+    def region_value(series: str, index: int, default: float = 0.0) -> float:
+        try:
+            return float(regions_panel[series][index])
+        except (KeyError, IndexError, TypeError, ValueError):
+            return default
+
+    labels = [str(label) for label in figure.x_values]
+    placements: Dict[str, int] = {}
+    failed: List[str] = []
+    aggregates = {"local": 0, "remote": 0, "spillovers": 0, "failovers": 0}
+    wan_seconds, wan_bytes = 0.0, 0
+    policy = "unknown"
+    for index, label in enumerate(labels):
+        if label == "federation":
+            continue
+        placements[label] = int(region_value("placements", index))
+        if int(region_value("failed", index)):
+            failed.append(label)
+        for series in aggregates:
+            aggregates[series] = int(region_value(series, index))
+        wan_seconds = region_value("wan_seconds", index)
+        wan_bytes = int(region_value("wan_bytes", index))
+        try:
+            policy = str(meta["router_policy"][index])
+        except (KeyError, IndexError):
+            pass
+    router = RouterStats(
+        policy=policy,
+        placements=placements,
+        wan_seconds=wan_seconds,
+        wan_bytes=wan_bytes,
+        **aggregates,
+    )
+    return {
+        "regions": summaries,
+        "cluster": cluster,
+        "router": router,
+        "failed_regions": tuple(failed),
+    }
+
+
 def traffic_from_figure(figure) -> Dict[str, Any]:
     """Invert :func:`traffic_to_figure`: label -> TrafficSummary.
 

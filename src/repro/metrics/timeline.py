@@ -11,7 +11,7 @@ baselines, wire time for everyone, thin splice slivers for Roadrunner.
 from __future__ import annotations
 
 import json
-from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
+from typing import TYPE_CHECKING, Dict, List, Mapping, Optional, Sequence
 
 from repro.sim.ledger import Charge, CostLedger
 
@@ -199,6 +199,49 @@ def export_traffic_trace(
             event["pid"] += offset  # keep node lanes distinct from request lanes
             combined.append(event)
     content = json.dumps({"traceEvents": combined, "displayTimeUnit": "ms"}, indent=2)
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(content)
+    return path
+
+
+def federation_trace_events(
+    traces_by_region: Mapping[str, Sequence["RequestTrace"]],
+) -> List[Dict[str, object]]:
+    """Request-trace events for a federated run, one pid-group per region.
+
+    Each region's request traces are rendered with the region as the
+    process-name prefix (``region/node``), and every region's pids are
+    offset past the previous region's, so Perfetto shows the federation
+    as one trace with a contiguous block of process lanes per region.
+    """
+    combined: List[Dict[str, object]] = []
+    offset = 0
+    for region, traces in traces_by_region.items():
+        events = request_trace_events(traces, process_name=region or "traffic")
+        if not events:
+            # A region that served nothing still gets a named (empty) lane,
+            # so the trace always shows every region of the federation.
+            events = [
+                {
+                    "name": "process_name",
+                    "ph": "M",
+                    "pid": 1,
+                    "args": {"name": "%s/gateway" % (region or "traffic")},
+                }
+            ]
+        for event in events:
+            event["pid"] += offset
+        offset = max(int(event["pid"]) for event in events)
+        combined.extend(events)
+    return combined
+
+
+def export_federation_trace(
+    path: str, traces_by_region: Mapping[str, Sequence["RequestTrace"]]
+) -> str:
+    """Write a federated run's request traces to ``path``, grouped by region."""
+    events = federation_trace_events(traces_by_region)
+    content = json.dumps({"traceEvents": events, "displayTimeUnit": "ms"}, indent=2)
     with open(path, "w", encoding="utf-8") as handle:
         handle.write(content)
     return path

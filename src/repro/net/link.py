@@ -15,6 +15,7 @@ link expresses as an efficiency factor from the cost model.
 
 from __future__ import annotations
 
+import math
 from typing import Optional
 
 from repro.sim.costs import CostModel, DEFAULT_COST_MODEL
@@ -38,10 +39,14 @@ class NetworkLink:
         self.bandwidth = bandwidth if bandwidth is not None else cost_model.network_bandwidth
         self.rtt = rtt if rtt is not None else cost_model.network_rtt
         self.name = name
-        if self.bandwidth <= 0:
-            raise LinkError("link bandwidth must be positive")
-        if self.rtt < 0:
-            raise LinkError("link RTT must be non-negative")
+        if not math.isfinite(self.bandwidth) or self.bandwidth <= 0:
+            raise LinkError(
+                "link %r bandwidth must be positive and finite, got %r" % (name, self.bandwidth)
+            )
+        if not math.isfinite(self.rtt) or self.rtt < 0:
+            raise LinkError(
+                "link %r RTT must be non-negative and finite, got %r" % (name, self.rtt)
+            )
         self.transferred_bytes = 0
 
     @property

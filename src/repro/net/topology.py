@@ -53,8 +53,13 @@ class Topology:
         self._require(b)
         if a == b:
             raise TopologyError("use the loopback link for same-node traffic")
+        key = self._key(a, b)
+        if key in self._links:
+            raise TopologyError(
+                "nodes %r and %r are already connected by %r" % (a, b, self._links[key].name)
+            )
         link = NetworkLink(self.cost_model, bandwidth=bandwidth, rtt=rtt, name="%s<->%s" % (a, b))
-        self._links[self._key(a, b)] = link
+        self._links[key] = link
         return link
 
     def link_between(self, a: str, b: str) -> NetworkLink:

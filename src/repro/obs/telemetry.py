@@ -35,67 +35,87 @@ class Telemetry:
         trace_log: Optional[TraceLog] = None,
         events: Optional[JsonlEventWriter] = None,
         progress: Optional[ProgressReporter] = None,
+        region: str = "",
     ) -> None:
         self.registry = registry if registry is not None else MetricsRegistry()
         self.trace_log = trace_log
         self.events = events
         self.progress = progress
+        #: Region this telemetry stack observes (federated runs attach one
+        #: stack per region).  Empty keeps every metric family's label set —
+        #: and every JSONL event's shape — byte-identical to the
+        #: pre-federation exposition.
+        self.region = region
+        self._region_labels = ("region",) if region else ()
         reg = self.registry
         self._requests = reg.counter(
             "repro_requests_total",
             help="Requests finished, by tenant and outcome.",
-            labels=("tenant", "outcome"),
+            labels=self._region_labels + ("tenant", "outcome"),
         )
         self._latency = reg.summary(
             "repro_request_latency_seconds",
             help="End-to-end latency of completed requests.",
-            labels=("tenant",),
+            labels=self._region_labels + ("tenant",),
         )
         self._stages = reg.summary(
             "repro_request_stage_seconds",
             help="Per-stage durations (queue, cold_start, service) of completed requests.",
-            labels=("tenant", "stage"),
+            labels=self._region_labels + ("tenant", "stage"),
         )
         self._replicas = reg.gauge(
             "repro_replicas",
             help="Current replica pool size.",
-            labels=("tenant",),
+            labels=self._region_labels + ("tenant",),
         )
         self._queue_depth = reg.gauge(
             "repro_queue_depth",
             help="Queued requests at the last control tick.",
-            labels=("tenant",),
+            labels=self._region_labels + ("tenant",),
         )
         self._arrival_rate = reg.gauge(
             "repro_arrival_rate_rps",
             help="Arrival rate observed over the last control interval.",
-            labels=("tenant",),
+            labels=self._region_labels + ("tenant",),
         )
         self._forecast = reg.gauge(
             "repro_forecast_rps",
             help="Predictive policy's arrival-rate forecast (predictive policies only).",
-            labels=("tenant",),
+            labels=self._region_labels + ("tenant",),
         )
         self._forecast_error = reg.summary(
             "repro_forecast_error_rps",
             help="Absolute error between the forecast and the observed rate.",
-            labels=("tenant",),
+            labels=self._region_labels + ("tenant",),
         )
         self._cold_starts = reg.counter(
             "repro_cold_starts_total",
             help="Replica cold starts paid.",
-            labels=("tenant",),
+            labels=self._region_labels + ("tenant",),
         )
         self._cold_seconds = reg.counter(
             "repro_cold_start_seconds_total",
             help="Simulated seconds spent cold-starting replicas.",
-            labels=("tenant",),
+            labels=self._region_labels + ("tenant",),
         )
         self._scaling = reg.counter(
             "repro_scaling_actions_total",
             help="Autoscaler pool changes, by direction.",
-            labels=("tenant", "direction"),
+            labels=self._region_labels + ("tenant", "direction"),
         )
+
+    def _labelled(self, family, **labels):
+        """The family's child for ``labels``, region-qualified when set."""
+        if self.region:
+            labels["region"] = self.region
+        return family.labels(**labels)
+
+    def _emit(self, payload: Dict[str, object]) -> None:
+        """Write one JSONL event, region-stamped when a region is set."""
+        if self.region:
+            payload = dict(payload)
+            payload["region"] = self.region
+        self.events.emit(payload)
 
     # -- run boundaries ---------------------------------------------------------------
 
@@ -106,7 +126,7 @@ class Telemetry:
                 self.progress.duration_s = duration_hint_s
             self.progress.start()
         if self.events is not None:
-            self.events.emit({"event": "run_start", "total_requests": total_requests})
+            self._emit({"event": "run_start", "total_requests": total_requests})
 
     def on_run_end(self, sim_now_s: float, finished: int, replicas: int) -> None:
         if self.progress is not None:
@@ -120,21 +140,23 @@ class Telemetry:
             }
             if self.trace_log is not None and self.trace_log.dropped:
                 payload["traces_dropped"] = self.trace_log.dropped
-            self.events.emit(payload)
+            self._emit(payload)
 
     # -- per-request ------------------------------------------------------------------
 
     def on_request(self, tenant: str, record: RequestRecord, node: str = "") -> None:
         """One request reached a terminal outcome; fan it out everywhere."""
-        self._requests.labels(tenant=tenant, outcome=record.outcome.value).inc()
+        self._labelled(self._requests, tenant=tenant, outcome=record.outcome.value).inc()
         trace = RequestTrace.from_record(tenant, record, node=node)
         if record.served:
             # Cached/coalesced responses count toward client-observed latency
             # even though they never produced backend stage durations.
-            self._latency.labels(tenant=tenant).observe(record.latency_s)
+            self._labelled(self._latency, tenant=tenant).observe(record.latency_s)
         if record.outcome is RequestOutcome.COMPLETED:
             for stage, _, duration in trace.stages():
-                self._stages.labels(tenant=tenant, stage=stage).observe(duration)
+                self._labelled(self._stages, tenant=tenant, stage=stage).observe(
+                    duration
+                )
         if self.trace_log is not None:
             self.trace_log.record(trace)
         if self.events is not None:
@@ -155,7 +177,7 @@ class Telemetry:
                 event["replica"] = record.replica
                 if node:
                     event["node"] = node
-            self.events.emit(event)
+            self._emit(event)
 
     def on_progress(self, sim_now_s: float, finished: int, replicas: int) -> None:
         if self.progress is not None:
@@ -176,13 +198,15 @@ class Telemetry:
         if delta == 0:
             return
         direction = "up" if delta > 0 else "down"
-        self._scaling.labels(tenant=tenant, direction=direction).inc(abs(delta))
-        self._replicas.labels(tenant=tenant).set(replicas)
+        self._labelled(self._scaling, tenant=tenant, direction=direction).inc(
+            abs(delta)
+        )
+        self._labelled(self._replicas, tenant=tenant).set(replicas)
         if cold_starts:
-            self._cold_starts.labels(tenant=tenant).inc(cold_starts)
-            self._cold_seconds.labels(tenant=tenant).inc(cold_seconds)
+            self._labelled(self._cold_starts, tenant=tenant).inc(cold_starts)
+            self._labelled(self._cold_seconds, tenant=tenant).inc(cold_seconds)
         if self.events is not None:
-            self.events.emit(
+            self._emit(
                 {
                     "event": "scale",
                     "tenant": tenant,
@@ -200,13 +224,14 @@ class Telemetry:
         middleware counters), so runs without a memory model keep their
         exposition byte-identical.
         """
-        self.registry.counter(
+        family = self.registry.counter(
             "repro_oom_evictions_total",
             help="Replicas killed by the OOM evictor, by tenant and node.",
-            labels=("tenant", "node"),
-        ).labels(tenant=tenant, node=node).inc()
+            labels=self._region_labels + ("tenant", "node"),
+        )
+        self._labelled(family, tenant=tenant, node=node).inc()
         if self.events is not None:
-            self.events.emit(
+            self._emit(
                 {
                     "event": "oom_evict",
                     "tenant": tenant,
@@ -220,12 +245,12 @@ class Telemetry:
         self, tenant: str, sample: LoadSample, forecast_rps: Optional[float] = None
     ) -> None:
         """One autoscaler control tick's load view."""
-        self._replicas.labels(tenant=tenant).set(sample.replicas)
-        self._queue_depth.labels(tenant=tenant).set(sample.queued)
-        self._arrival_rate.labels(tenant=tenant).set(sample.arrival_rate_rps)
+        self._labelled(self._replicas, tenant=tenant).set(sample.replicas)
+        self._labelled(self._queue_depth, tenant=tenant).set(sample.queued)
+        self._labelled(self._arrival_rate, tenant=tenant).set(sample.arrival_rate_rps)
         if forecast_rps is not None:
-            self._forecast.labels(tenant=tenant).set(forecast_rps)
-            self._forecast_error.labels(tenant=tenant).observe(
+            self._labelled(self._forecast, tenant=tenant).set(forecast_rps)
+            self._labelled(self._forecast_error, tenant=tenant).observe(
                 abs(forecast_rps - sample.arrival_rate_rps)
             )
 
@@ -236,34 +261,34 @@ class Telemetry:
         enq = self.registry.counter(
             "repro_queue_enqueued_total",
             help="Requests admitted to the fair queue.",
-            labels=("tenant",),
+            labels=self._region_labels + ("tenant",),
         )
         disp = self.registry.counter(
             "repro_queue_dispatched_total",
             help="Requests dispatched from the fair queue to a replica.",
-            labels=("tenant",),
+            labels=self._region_labels + ("tenant",),
         )
         dropped = self.registry.counter(
             "repro_queue_dropped_total",
             help="Arrivals refused at the admission bound.",
-            labels=("tenant",),
+            labels=self._region_labels + ("tenant",),
         )
         timed_out = self.registry.counter(
             "repro_queue_timed_out_total",
             help="Queued requests that outlived the queue timeout.",
-            labels=("tenant",),
+            labels=self._region_labels + ("tenant",),
         )
         shed = self.registry.counter(
             "repro_queue_shed_total",
             help="Hard-deadline requests shed by admission control.",
-            labels=("tenant",),
+            labels=self._region_labels + ("tenant",),
         )
         for tenant, tenant_stats in stats.items():
-            enq.labels(tenant=tenant).inc(tenant_stats.enqueued)
-            disp.labels(tenant=tenant).inc(tenant_stats.dispatched)
-            dropped.labels(tenant=tenant).inc(tenant_stats.dropped)
-            timed_out.labels(tenant=tenant).inc(tenant_stats.timed_out)
-            shed.labels(tenant=tenant).inc(tenant_stats.shed)
+            self._labelled(enq, tenant=tenant).inc(tenant_stats.enqueued)
+            self._labelled(disp, tenant=tenant).inc(tenant_stats.dispatched)
+            self._labelled(dropped, tenant=tenant).inc(tenant_stats.dropped)
+            self._labelled(timed_out, tenant=tenant).inc(tenant_stats.timed_out)
+            self._labelled(shed, tenant=tenant).inc(tenant_stats.shed)
 
     def observe_middleware(self, stats: Mapping[str, Mapping[str, int]]) -> None:
         """Fold the gateway pipeline's per-stage counters in (run end, once).
@@ -279,15 +304,15 @@ class Telemetry:
         events = self.registry.counter(
             "repro_middleware_events_total",
             help="Gateway middleware events, by stage and event type.",
-            labels=("stage", "event"),
+            labels=self._region_labels + ("stage", "event"),
         )
         for stage, counters in stats.items():
             for event, count in counters.items():
-                events.labels(stage=stage, event=event).inc(count)
+                self._labelled(events, stage=stage, event=event).inc(count)
             if self.events is not None:
                 payload: Dict[str, object] = {"event": "middleware", "stage": stage}
                 payload.update(counters)
-                self.events.emit(payload)
+                self._emit(payload)
 
     def observe_memory(
         self, tenants: Mapping[str, "tuple[int, float, float]"]
@@ -304,18 +329,18 @@ class Telemetry:
         rss = self.registry.gauge(
             "repro_tenant_rss_mb_seconds",
             help="Integral of replica RSS over residency (MB x seconds).",
-            labels=("tenant",),
+            labels=self._region_labels + ("tenant",),
         )
         cpu = self.registry.gauge(
             "repro_tenant_cpu_seconds",
             help="Replica-busy CPU seconds (hedged losers included).",
-            labels=("tenant",),
+            labels=self._region_labels + ("tenant",),
         )
         for tenant, (evictions, rss_mb_seconds, cpu_seconds) in tenants.items():
-            rss.labels(tenant=tenant).set(rss_mb_seconds)
-            cpu.labels(tenant=tenant).set(cpu_seconds)
+            self._labelled(rss, tenant=tenant).set(rss_mb_seconds)
+            self._labelled(cpu, tenant=tenant).set(cpu_seconds)
             if self.events is not None:
-                self.events.emit(
+                self._emit(
                     {
                         "event": "memory",
                         "tenant": tenant,
@@ -330,25 +355,25 @@ class Telemetry:
         charges = self.registry.gauge(
             "repro_node_charges",
             help="Cost-ledger entries charged on the node.",
-            labels=("node",),
+            labels=self._region_labels + ("node",),
         )
         seconds = self.registry.gauge(
             "repro_node_charged_seconds",
             help="Total simulated seconds charged on the node's ledger shard.",
-            labels=("node",),
+            labels=self._region_labels + ("node",),
         )
         cpu = self.registry.gauge(
             "repro_node_cpu_seconds",
             help="CPU seconds charged on the node.",
-            labels=("node",),
+            labels=self._region_labels + ("node",),
         )
         memory = self.registry.gauge(
             "repro_node_peak_memory_mb",
             help="Peak memory charged on the node, in MiB.",
-            labels=("node",),
+            labels=self._region_labels + ("node",),
         )
         for name, usage in nodes.items():
-            charges.labels(node=name).set(usage.charges)
-            seconds.labels(node=name).set(usage.total_seconds)
-            cpu.labels(node=name).set(usage.cpu_seconds)
-            memory.labels(node=name).set(usage.peak_memory_mb)
+            self._labelled(charges, node=name).set(usage.charges)
+            self._labelled(seconds, node=name).set(usage.total_seconds)
+            self._labelled(cpu, node=name).set(usage.cpu_seconds)
+            self._labelled(memory, node=name).set(usage.peak_memory_mb)

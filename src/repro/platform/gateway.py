@@ -399,6 +399,26 @@ class FairQueue:
                     other.skipped += 1
         return entry.item
 
+    def drain(self, tenant: str) -> List[object]:
+        """Evacuate every waiting item in dispatch order, without accounting.
+
+        Used by federation when a region fails: the queued requests are not
+        dispatched, dropped, timed out or shed *here* — they are re-routed to
+        a surviving region, which does its own admission accounting.  Tags,
+        skip counters and stats are therefore untouched; only the backlog is
+        removed.  Returns ``(item_id, item)`` pairs in heap order.
+        """
+        queue = self._require(tenant)
+        drained: List[object] = []
+        while True:
+            self._prune(queue)
+            if not queue.items:
+                break
+            entry = heapq.heappop(queue.items)
+            queue.live.discard(entry.item_id)
+            drained.append((entry.item_id, entry.item))
+        return drained
+
     # -- internals -----------------------------------------------------------------
 
     def _prune(self, queue: _TenantQueue) -> None:

@@ -78,6 +78,17 @@ from repro.traffic.engine import (
     TrafficEngineError,
     run_comparison,
 )
+from repro.traffic.federation import (
+    ROUTER_POLICIES,
+    ClusterSpec,
+    FederatedTrafficEngine,
+    FederationError,
+    FederationSummary,
+    GlobalRouter,
+    RouterStats,
+    parse_clusters,
+    parse_fail_spec,
+)
 from repro.traffic.policies import (
     SCALING_POLICIES,
     autoscaler_factory,
@@ -105,9 +116,11 @@ from repro.traffic.tenants import (
 )
 from repro.traffic.report import (
     render_class_table,
+    render_federation_report,
     render_middleware_table,
     render_multi_tenant_report,
     render_policy_comparison,
+    render_router_table,
     render_traffic_report,
     render_waterfall_table,
 )
@@ -149,6 +162,15 @@ __all__ = [
     "MultiTenantTrafficEngine",
     "TrafficEngineError",
     "run_comparison",
+    "ROUTER_POLICIES",
+    "ClusterSpec",
+    "FederatedTrafficEngine",
+    "FederationError",
+    "FederationSummary",
+    "GlobalRouter",
+    "RouterStats",
+    "parse_clusters",
+    "parse_fail_spec",
     "RequestOutcome",
     "RequestRecord",
     "SERVED_OUTCOMES",
@@ -165,6 +187,8 @@ __all__ = [
     "derived_seed",
     "parse_tenants",
     "render_traffic_report",
+    "render_federation_report",
+    "render_router_table",
     "render_middleware_table",
     "render_multi_tenant_report",
     "render_class_table",

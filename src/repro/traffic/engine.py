@@ -47,42 +47,54 @@ from __future__ import annotations
 
 import heapq
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 
 from typing import TYPE_CHECKING
 
-from repro.experiments.environment import build_pair_setup
-from repro.platform.deployment import DeployedFunction
-from repro.platform.cluster import Cluster
-from repro.platform.function import FunctionSpec
 from repro.platform.gateway import (
     FairnessPolicy,
-    IngressGateway,
     IntraTenantOrder,
     RoutingPolicy,
 )
-from repro.platform.orchestrator import Orchestrator
 from repro.sim.clock import SimClock
 from repro.sim.costs import CostModel, DEFAULT_COST_MODEL
 from repro.sim.engine import PartitionedEventLoop, parallel_map
-from repro.sim.ledger import CostCategory, CostLedger
 from repro.traffic.arrivals import Request
-from repro.traffic.autoscaler import Autoscaler, LoadSample, TargetConcurrencyPolicy
-from repro.traffic.slo import RequestOutcome, RequestRecord, TrafficSummary, summarize
-from repro.traffic.tenants import CapacityArbiter, MultiTenantSummary, NodeUsage, TenantSpec
-from repro.wasm.runtime import RuntimeKind
-from repro.workloads.generators import make_payload
+
+# The per-cluster machinery lives in repro.traffic.cluster_runtime; the
+# engine is its single-cluster driver.  The underscored names are
+# re-exported here because callers (benchmarks, tests) predate the split.
+from repro.traffic.cluster_runtime import (
+    MB,
+    ClusterRuntime,
+    _measure_service_time,
+    _merge_timelines,
+    _Replica,
+    _spec_for_mode,
+    _TenantState,
+)
+from repro.traffic.autoscaler import Autoscaler, TargetConcurrencyPolicy
+from repro.traffic.slo import RequestRecord, TrafficSummary
+from repro.traffic.tenants import MultiTenantSummary, TenantSpec
 
 if TYPE_CHECKING:  # pragma: no cover - runtime imports are lazy to avoid a
     # cycle: repro.obs.spans imports repro.traffic.slo, whose package
     # __init__ imports this module.
-    from repro.gateway.middleware import MiddlewarePipeline, RequestContext
+    from repro.gateway.middleware import MiddlewarePipeline
     from repro.obs.spans import WaterfallRow
     from repro.obs.streaming import StreamingTrafficStats
     from repro.obs.telemetry import Telemetry
 
-MB = 1024 * 1024
+__all__ = [
+    "MB",
+    "TRAFFIC_MODES",
+    "TrafficEngineError",
+    "TrafficConfig",
+    "TrafficEngine",
+    "MultiTenantTrafficEngine",
+    "run_comparison",
+]
 
 #: Modes the traffic engine can drive (single-node deployments).
 TRAFFIC_MODES: Tuple[str, ...] = (
@@ -163,91 +175,68 @@ class TrafficConfig:
         return self.node_memory_mb > 0
 
 
-@dataclass
-class _Replica:
-    """Engine-side view of one gateway replica.
+def schedule_arrivals(
+    loop: PartitionedEventLoop,
+    states: Sequence[_TenantState],
+    admit: Callable[[_TenantState, Request], None],
+    total_requests: int,
+) -> None:
+    """Chain every tenant's arrivals through ``admit``, lazily and in order.
 
-    Only warm-up and idleness live here; in-flight counts stay in the
-    gateway (the load balancer's bookkeeping is the single source of
-    truth — the engine samples it through the admission hooks).
+    Arrivals are *not* pre-scheduled: a million heap entries up front
+    would dominate the run's memory and heap-sift work.  Instead the
+    per-tenant streams — each already in (arrival_s, request_id) order —
+    are lazily merged, one order slot per arrival is reserved so
+    tie-breaking matches the old pre-scheduled order exactly, and each
+    arrival event chains the next one from the merged iterator.
     """
 
-    deployed: DeployedFunction
-    ready_at: float
-    cold_s: float = 0.0
-    idle_since: float = 0.0
-    #: Modelled resident-set footprint (0.0 when the memory model is off).
-    rss_mb: float = 0.0
-    #: Registration time, for RSS-seconds (footprint x residency) accounting.
-    born_s: float = 0.0
-    #: The gateway's load-balancer state for this replica — held directly so
-    #: the hot path reads in-flight counts and releases without pool scans.
-    gw_state: Optional[object] = None
-    #: ``deployed.node_name`` cached as a plain attribute (property calls on
-    #: the deployment object showed up in million-request profiles).
-    node: str = ""
+    def tenant_entries(
+        index: int, state: _TenantState, requests: Sequence[Request]
+    ) -> "Iterator[Tuple[float, int, int, _TenantState, Request]]":
+        for request in requests:
+            yield (request.arrival_s, index, request.request_id, state, request)
 
+    streams = []
+    for index, state in enumerate(states):
+        requests = state.requests
+        if any(
+            (left.arrival_s, left.request_id) > (right.arrival_s, right.request_id)
+            for left, right in zip(requests, requests[1:])
+        ):
+            # Explicit request lists may arrive unordered; generated
+            # streams never do and skip the copy.
+            requests = sorted(
+                requests, key=lambda request: (request.arrival_s, request.request_id)
+            )
+        streams.append(tenant_entries(index, state, requests))
+    # ``heapq.merge`` with already-sorted streams reproduces the old
+    # ``sorted(all_entries, key=entry[:3])`` order: keys differ across
+    # tenants (the index is part of the key) and within a tenant the
+    # stream order is preserved for ties, exactly like a stable sort.
+    arrival_iter = heapq.merge(*streams, key=lambda entry: entry[:3])
+    arrival_base = loop.reserve_orders(total_requests)
+    arrival_slot = 0
 
-@dataclass
-class _TenantState:
-    """Everything the engine tracks for one tenant during a run."""
+    def advance_arrivals() -> None:
+        nonlocal arrival_slot
+        entry = next(arrival_iter, None)
+        if entry is None:
+            return
+        loop.schedule_at(
+            entry[0],
+            arrival_event,
+            label="arrive",
+            args=(entry[3], entry[4]),
+            order=arrival_base + arrival_slot,
+        )
+        arrival_slot += 1
 
-    spec: TenantSpec
-    function_spec: FunctionSpec
-    autoscaler: Autoscaler
-    requests: List[Request]
-    replicas: List[_Replica] = field(default_factory=list)
-    by_name: Dict[str, _Replica] = field(default_factory=dict)
-    records: List[RequestRecord] = field(default_factory=list)
-    #: Streaming accumulators, built instead of ``records`` in sketch mode.
-    stream: Optional[StreamingTrafficStats] = None
-    timeline: List[Tuple[float, int]] = field(default_factory=list)
-    cold_starts: int = 0
-    cold_start_seconds: float = 0.0
-    # Arrival-rate sampling for predictive scaling policies.
-    arrivals_since_tick: int = 0
-    last_tick_s: float = 0.0
-    # Memory model (all stay zero when the model is off).
-    rss_mb: float = 0.0          # resolved per-replica footprint
-    oom_evictions: int = 0
-    rss_mb_seconds: float = 0.0  # integral of RSS over replica residency
-    cpu_seconds: float = 0.0     # replica-busy seconds (hedged losers too)
-    # Spec-derived names, materialized once: these were properties, but the
-    # request path reads them several times per request.
-    name: str = field(init=False)
-    function: str = field(init=False)
+    def arrival_event(state: _TenantState, request: Request) -> None:
+        admit(state, request)
+        advance_arrivals()
 
-    def __post_init__(self) -> None:
-        self.name = self.spec.name
-        self.function = self.spec.function_name
-
-
-def _measure_service_time(mode: str, payload_bytes: int, cost_model: CostModel) -> float:
-    """Workflow latency of one (mode, payload size): one isolated simulation.
-
-    Module-level (and self-contained: fresh cluster, fresh ledger shards,
-    fresh clock) so worker processes can run measurements concurrently for
-    the parallel-nodes path; the result is deterministic either way.
-    """
-    setup = build_pair_setup(mode, cost_model=cost_model)
-    payload = make_payload(payload_bytes / MB)
-    return setup.invoker.invoke(setup.workflow, payload).total_latency_s
-
-
-def _spec_for_mode(mode: str, function: str, tenant: str = "tenant-1") -> FunctionSpec:
-    if mode == "runc-http":
-        kind = RuntimeKind.RUNC
-    elif mode == "wasmedge-http":
-        kind = RuntimeKind.WASMEDGE
-    else:
-        kind = RuntimeKind.ROADRUNNER
-    return FunctionSpec(
-        name=function,
-        runtime=kind,
-        requires_wasi=kind is not RuntimeKind.RUNC,
-        workflow="traffic",
-        tenant=tenant,
-    )
+    advance_arrivals()
 
 
 class MultiTenantTrafficEngine:
@@ -365,644 +354,27 @@ class MultiTenantTrafficEngine:
         if self.config.parallel_nodes:
             self._prefill_service_cache(states)
 
-        # The shared serving cluster: every tenant's pool lives behind one
-        # gateway, every charge lands on one ledger timestamped on the
-        # engine's simulated clock, and every replica competes for the same
-        # node cores.
         self.clock.reset()
-        cluster = Cluster(
-            cost_model=self.config.cost_model,
-            ledger=CostLedger(clock=self.clock, name="traffic"),
-        )
-        for index in range(self.config.nodes):
-            cluster.add_node("traffic-%d" % index)
-        orchestrator = Orchestrator(cluster)
-        # The memory model: None unless a node budget was configured, and
-        # every use below is guarded on that — a memory-free run touches
-        # none of it and stays byte-identical to the pre-model engine.
-        self.evictions = []
-        memory = None
-        if self.config.memory_enabled:
-            from repro.traffic.memory import NodeMemoryModel, default_replica_rss_mb
-
-            memory = NodeMemoryModel(
-                budget_mb=self.config.node_memory_mb,
-                knee=self.config.pressure_knee,
-                slope=self.config.pressure_slope,
-                ledger=cluster.ledger,
-            )
-            for state in states:
-                state.rss_mb = (
-                    state.spec.rss_mb
-                    or self.config.replica_rss_mb
-                    or default_replica_rss_mb(state.spec.mode, self.config.cost_model)
-                )
-        pipeline = self.middleware
-        gateway = IngressGateway(
-            orchestrator,
-            policy=self.config.routing,
+        loop = PartitionedEventLoop()
+        counter = [total_requests]
+        runtime = ClusterRuntime(
+            states=states,
+            config=self.config,
             fairness=self.fairness,
             starvation_guard=self.starvation_guard,
             intra=self.intra,
-            pipeline=pipeline,
+            oversubscription=self.oversubscription,
+            clock=self.clock,
+            loop=loop,
+            service_time=self._service_time,
+            service_cache=self._service_cache,
+            counter=counter,
+            total_requests=total_requests,
+            telemetry=telemetry,
+            pipeline=self.middleware,
+            cluster_stream=self._cluster_stream,
         )
-        for state in states:
-            gateway.queue.register_tenant(state.name, state.spec.weight)
-
-        loop = PartitionedEventLoop()
-        by_tenant = {state.name: state for state in states}
-        #: In-pipeline requests: (tenant, request_id) -> RequestContext.
-        #: Parked requests (coalesced followers) live only here and in their
-        #: stage until the leader's completion fans them back out.
-        contexts: Dict[Tuple[str, int], "RequestContext"] = {}
-        # Cores bound execution; replica *slots* may oversubscribe them.
-        # With oversubscription 1.0 pools partition the cores and queueing
-        # order is moot; above 1.0 pools overlap on cores and the fair
-        # queue decides who gets a freed core — the contended regime
-        # noisy-neighbour scenarios study.
-        capacity = sum(cluster.node(name).cores for name in cluster.nodes)
-        slots = max(capacity, int(capacity * self.oversubscription))
-        arbiter = CapacityArbiter(slots, {state.name: state.spec.weight for state in states})
-        remaining = total_requests
-        last_event_s = 0.0
-        # Hot-path locals: every name hoisted here saves an attribute chase
-        # per request in the million-request regime.
-        clock = self.clock
-        queue = gateway.queue
-        per_replica_concurrency = self.config.per_replica_concurrency
-        parallel_nodes = self.config.parallel_nodes
-        max_queue = self.config.max_queue
-        queue_timeout_s = self.config.queue_timeout_s
-        service_cache = self._service_cache
-        cluster_stream = self._cluster_stream
-        cores = {name: cluster.node(name).cores for name in cluster.nodes}
-        #: Busy requests per node across all tenants, maintained incrementally
-        #: (+1 at every replica selection, -1 at every release) instead of
-        #: being rebuilt from gateway pool scans on every dispatch pass.
-        node_busy = {name: 0 for name in cluster.nodes}
-
-        def note(now: float) -> None:
-            nonlocal last_event_s
-            if now > last_event_s:
-                last_event_s = now
-            clock.advance_to(loop.now)
-
-        def finish(state: _TenantState, record: RequestRecord, node: str = "") -> None:
-            """One request reached a terminal outcome: account it exactly once.
-
-            The single funnel for all four outcome paths — retained as a
-            record or folded into the streaming accumulators, counted down,
-            and fanned out to the telemetry sinks.  Always called from a
-            serialized context (the join stage for completions; arrivals,
-            expiries and sheds are never node-partitioned), so sketch
-            updates and telemetry stay deterministic under parallel nodes.
-            """
-            nonlocal remaining
-            if retain:
-                state.records.append(record)
-            else:
-                state.stream.observe(record)
-                if cluster_stream is not state.stream:
-                    cluster_stream.observe(record)
-            remaining -= 1
-            if telemetry is not None:
-                telemetry.on_request(state.name, record, node)
-                if telemetry.progress is not None:
-                    telemetry.on_progress(
-                        loop.now,
-                        total_requests - remaining,
-                        sum(len(s.replicas) for s in states),
-                    )
-
-        def resolve(state: _TenantState, record: RequestRecord, node: str = "") -> None:
-            """Account one terminal outcome, then unwind its middleware.
-
-            The pipeline's completion hooks run in reverse admission order
-            (cache fills, coalesce fan-out); any follow-on records they
-            release — parked duplicates resolved by this outcome — recurse
-            through the same funnel, so each follower is accounted exactly
-            like a request of its own.
-            """
-            finish(state, record, node)
-            if pipeline is None:
-                return
-            ctx = contexts.pop((state.name, record.request_id), None)
-            if ctx is None:
-                return
-            for follow_ctx, follow_record in pipeline.complete(ctx, record, loop.now):
-                if follow_record.completion_s is not None:
-                    note(follow_record.completion_s)
-                resolve(by_tenant[follow_ctx.tenant], follow_record, node)
-
-        def pool_sizes() -> Dict[str, int]:
-            return {state.name: len(state.replicas) for state in states}
-
-        def demand_snapshot() -> Dict[str, int]:
-            """Replicas each tenant's load wants right now (queued + in flight).
-
-            The arbiter reserves unmet guarantees only up to this demand, so
-            idle tenants lend their share instead of stranding slots.
-            """
-            return {
-                state.name: gateway.queue.depth(state.name)
-                + (gateway.total_in_flight(state.function) if state.replicas else 0)
-                for state in states
-            }
-
-        def warm_dispatch() -> None:
-            """A replica finished warming: queued work may now be servable."""
-            dispatch(loop.now)
-
-        def add_replicas(state: _TenantState, count: int, now: float) -> None:
-            """Register ``count`` replicas, each paying its modelled cold start.
-
-            Replicas never share a VM here: after a scale-to-zero the next
-            scale-up must pay the full cold start again, so a cached warm VM
-            would flatter whichever runtime got to keep it.
-            """
-            cold_before = state.cold_start_seconds
-            for _ in range(count):
-                before = cluster.ledger.seconds(CostCategory.COLD_START)
-                deployed = gateway.register(state.function_spec, replicas=1, charge_cold_start=True)[0]
-                cold = cluster.ledger.seconds(CostCategory.COLD_START) - before
-                state.cold_starts += 1
-                state.cold_start_seconds += cold
-                replica = _Replica(
-                    deployed=deployed,
-                    ready_at=now + cold,
-                    cold_s=cold,
-                    idle_since=now + cold,
-                    rss_mb=state.rss_mb,
-                    born_s=now,
-                    node=deployed.node_name,
-                )
-                # Bind the gateway's load-balancer state both ways: the
-                # dispatch loop reads in-flight counts off the replica and
-                # maps selection results back without any name lookups.
-                gw_state = gateway.pool_states(state.function)[-1]
-                gw_state.handle = replica
-                replica.gw_state = gw_state
-                state.replicas.append(replica)
-                state.by_name[deployed.name] = replica
-                if memory is not None:
-                    memory.allocate(deployed.node_name, state.rss_mb)
-                loop.schedule_at(now + cold, warm_dispatch, label="warm")
-            if telemetry is not None and count > 0:
-                telemetry.on_scale(
-                    state.name,
-                    count,
-                    len(state.replicas),
-                    now,
-                    cold_starts=count,
-                    cold_seconds=state.cold_start_seconds - cold_before,
-                )
-            if memory is not None and count > 0:
-                evict_over_budget(now)
-
-        def drop_replica(state: _TenantState, replica: _Replica, now: float) -> None:
-            """Deregister one warm replica (reclaim and eviction share this)."""
-            gateway.remove_replica(state.function, replica.deployed)
-            state.replicas.remove(replica)
-            del state.by_name[replica.deployed.name]
-            if memory is not None:
-                state.rss_mb_seconds += replica.rss_mb * max(0.0, now - replica.born_s)
-                memory.free(replica.deployed.node_name, replica.rss_mb)
-
-        def evict_over_budget(now: float) -> None:
-            """Kill the coldest idle replica on every node over its budget.
-
-            Runs only from serialized stages (scale-ups are never
-            node-partitioned), so the eviction order is deterministic: per
-            over-budget node, the idle warm replica with the smallest
-            ``idle_since`` goes first, ties broken by tenant registration
-            order and then replica name.  A node whose budget excess is
-            pinned by busy replicas stays over budget — nothing to kill —
-            and pays through service-time inflation instead.  Each eviction
-            is a forced future cold start: the tenant's next scale-up pays
-            the full warm-up again.
-            """
-            while True:
-                evicted = False
-                for node in sorted(node for node in cluster.nodes if memory.over_budget(node)):
-                    best = None
-                    for index, state in enumerate(states):
-                        for replica in state.replicas:
-                            if replica.node != node:
-                                continue
-                            if replica.gw_state.in_flight != 0 or replica.ready_at > now:
-                                continue
-                            key = (replica.idle_since, index, replica.deployed.name)
-                            if best is None or key < best[0]:
-                                best = (key, state, replica)
-                    if best is None:
-                        continue
-                    _, victim_state, victim = best
-                    drop_replica(victim_state, victim, now)
-                    victim_state.oom_evictions += 1
-                    self.evictions.append((now, victim_state.name, victim.deployed.name))
-                    if telemetry is not None:
-                        telemetry.on_oom_evict(
-                            victim_state.name, node, victim.deployed.name, now
-                        )
-                    evicted = True
-                if not evicted:
-                    return
-
-        def finish_completion(
-            state: _TenantState,
-            record: RequestRecord,
-            replica: _Replica,
-            loser: Optional[_Replica],
-            completion: float,
-        ) -> None:
-            # Cross-node stage, serialized in exact time order: gateway
-            # bookkeeping and re-dispatch.
-            gateway.release_state(state.function, replica.gw_state)
-            node_busy[replica.node] -= 1
-            replica.idle_since = completion
-            if memory is not None:
-                # Replica-busy CPU: the loser of a hedge burned the same
-                # wall interval before its cancellation, so it pays too.
-                state.cpu_seconds += record.service_s
-            if loser is not None:
-                # The hedge's losing attempt is cancelled now: its replica
-                # frees the moment the winner answers the client.
-                gateway.release_state(state.function, loser.gw_state)
-                node_busy[loser.node] -= 1
-                loser.idle_since = completion
-                if memory is not None:
-                    state.cpu_seconds += record.service_s
-            resolve(state, record, node=replica.node)
-            dispatch(loop.now)
-
-        def complete_event(
-            state: _TenantState,
-            request: Request,
-            replica: _Replica,
-            loser: Optional[_Replica],
-            dispatched: float,
-            completion: float,
-            cold_wait: float,
-        ) -> None:
-            # Serial completion path: one shared function fed per-event
-            # ``args`` — no closure pair allocated per request.
-            record = RequestRecord(
-                request_id=request.request_id,
-                function=state.function,
-                outcome=RequestOutcome.COMPLETED,
-                arrival_s=request.arrival_s,
-                dispatch_s=dispatched,
-                completion_s=completion,
-                replica=replica.deployed.name,
-                cold_start_wait_s=cold_wait,
-                request_class=request.request_class,
-                deadline_s=request.deadline_s,
-            )
-            finish_completion(state, record, replica, loser, completion)
-
-        def dispatch(now: float) -> None:
-            """Move queued requests onto available replicas.
-
-            The gateway's fair queue decides which tenant to try first; a
-            tenant whose pool has no eligible replica is passed over (work
-            conservation) without losing its place in the fair order.  A
-            head request with a *hard* deadline that can no longer be met
-            is shed here — admission control refuses to burn a replica on
-            output nobody can use.
-            """
-            while True:
-                served = False
-                for tenant_name in queue.dispatch_order():
-                    state = by_tenant[tenant_name]
-                    candidates = [
-                        replica
-                        for replica in state.replicas
-                        if replica.ready_at <= now
-                        and replica.gw_state.in_flight < per_replica_concurrency
-                        and node_busy[replica.node] < cores[replica.node]
-                    ]
-                    if not candidates:
-                        continue
-                    request = queue.peek(tenant_name)
-                    key = (state.spec.mode, request.payload_bytes)
-                    service = service_cache.get(key)
-                    if service is None:
-                        service = self._service_time(key[0], key[1])
-                    if (
-                        request.hard
-                        and request.deadline_s is not None
-                        and now + service > request.deadline_s
-                    ):
-                        queue.shed_head(tenant_name)
-                        resolve(
-                            state,
-                            RequestRecord(
-                                request_id=request.request_id,
-                                function=state.function,
-                                outcome=RequestOutcome.SHED,
-                                arrival_s=request.arrival_s,
-                                request_class=request.request_class,
-                                deadline_s=request.deadline_s,
-                            ),
-                        )
-                        served = True
-                        break  # re-evaluate: the tenant's next head may serve
-                    queue.pop(tenant_name)
-                    # Give the pipeline's dispatch hooks a say: the hedge
-                    # stage applies its seeded straggler jitter and decides
-                    # whether a backup attempt races on a spare replica.
-                    plan = None
-                    if pipeline is not None:
-                        ctx = contexts.get((tenant_name, request.request_id))
-                        if ctx is not None:
-                            plan = pipeline.plan_dispatch(
-                                ctx, now, service, spare_replica=len(candidates) > 1
-                            )
-                            service = plan.service_s
-                    loser: Optional[_Replica] = None
-                    if plan is not None and plan.hedged and len(candidates) > 1:
-                        primary_gw = gateway.select_replica(
-                            state.function,
-                            [replica.gw_state for replica in candidates],
-                        )
-                        primary = primary_gw.handle
-                        hedge_gw = gateway.select_replica(
-                            state.function,
-                            [
-                                replica.gw_state
-                                for replica in candidates
-                                if replica.gw_state is not primary_gw
-                            ],
-                        )
-                        hedge = hedge_gw.handle
-                        node_busy[primary.node] += 1
-                        node_busy[hedge.node] += 1
-                        primary_done, hedge_offset = plan.completion_offsets()
-                        if memory is not None:
-                            # Each attempt slows by its own node's pressure.
-                            primary_done *= memory.inflation(primary.node)
-                            hedge_offset *= memory.inflation(hedge.node)
-                        # First finisher wins; the loser is cancelled (and
-                        # its replica released) at the winner's completion.
-                        if now + hedge_offset < now + primary_done:
-                            replica, loser = hedge, primary
-                            completion = now + hedge_offset
-                        else:
-                            replica, loser = primary, hedge
-                            completion = now + primary_done
-                    else:
-                        chosen = gateway.select_replica(
-                            state.function,
-                            [replica.gw_state for replica in candidates],
-                        )
-                        replica = chosen.handle
-                        node_busy[replica.node] += 1
-                        if memory is not None:
-                            # Memory pressure on the chosen node slows the
-                            # service; the EWMA below sees the inflated time,
-                            # so scaling decisions feel the pressure too.
-                            service = service * memory.inflation(replica.node)
-                        completion = now + service
-                    # Feed the measured service time back into the queue's
-                    # per-tenant EWMA: later enqueues snapshot it as their
-                    # wfq-cost tag advance, and the autoscaler reads it as
-                    # the Little's-law service-time estimate.
-                    queue.record_service_cost(tenant_name, service)
-                    # The part of this request's wait actually spent watching
-                    # its replica cold-start: the overlap of [arrival,
-                    # dispatch] with the warm-up window, not the whole delay.
-                    cold_wait = max(0.0, min(replica.cold_s, replica.ready_at - request.arrival_s))
-                    note(completion)
-
-                    if parallel_nodes:
-                        # Parallel nodes need the action/join split: the
-                        # record is built node-locally (concurrently), the
-                        # gateway bookkeeping joins in global time order.
-                        # Both paths produce the identical record.
-                        def complete(
-                            state: _TenantState = state,
-                            request: Request = request,
-                            replica: _Replica = replica,
-                            loser: Optional[_Replica] = loser,
-                            dispatched: float = now,
-                            completion: float = completion,
-                            cold_wait: float = cold_wait,
-                        ):
-                            # Node-local stage: build the completion record
-                            # from values captured at dispatch, charging
-                            # (and touching) nothing shared.
-                            record = RequestRecord(
-                                request_id=request.request_id,
-                                function=state.function,
-                                outcome=RequestOutcome.COMPLETED,
-                                arrival_s=request.arrival_s,
-                                dispatch_s=dispatched,
-                                completion_s=completion,
-                                replica=replica.deployed.name,
-                                cold_start_wait_s=cold_wait,
-                                request_class=request.request_class,
-                                deadline_s=request.deadline_s,
-                            )
-
-                            def join() -> None:
-                                finish_completion(
-                                    state, record, replica, loser, completion
-                                )
-
-                            return join
-
-                        loop.schedule_at(
-                            completion,
-                            complete,
-                            label="complete",
-                            partition=replica.node,
-                        )
-                    else:
-                        loop.schedule_at(
-                            completion,
-                            complete_event,
-                            label="complete",
-                            args=(state, request, replica, loser, now, completion, cold_wait),
-                        )
-                    served = True
-                    break  # re-evaluate fair order after every dispatch
-                if not served:
-                    return
-
-        def arrive(state: _TenantState, request: Request) -> None:
-            note(request.arrival_s)
-            state.arrivals_since_tick += 1
-            priority = request.priority
-            deadline = request.deadline_s
-            if pipeline is not None:
-                from repro.gateway.middleware import AdmitAction
-
-                ctx = pipeline.context(state.name, request)
-                decision = pipeline.admit(ctx, request.arrival_s)
-                contexts[(state.name, request.request_id)] = ctx
-                if decision.action is AdmitAction.SHORT_CIRCUIT:
-                    # Terminal at the gateway: a cache hit (served, with a
-                    # completion instant) or a refusal (rate limit / auth).
-                    completion = decision.completion_s
-                    if completion is not None:
-                        note(completion)
-                    resolve(
-                        state,
-                        RequestRecord(
-                            request_id=request.request_id,
-                            function=state.function,
-                            outcome=decision.outcome,
-                            arrival_s=request.arrival_s,
-                            completion_s=completion,
-                            request_class=request.request_class,
-                            deadline_s=request.deadline_s,
-                        ),
-                    )
-                    return
-                if decision.action is AdmitAction.PARK:
-                    # Parked behind an identical in-flight request: no queue
-                    # slot, no timeout event — the leader's completion (or
-                    # failure) resolves it through the pipeline unwind.
-                    return
-                # Transformed requests dispatch under their overridden keys.
-                priority = ctx.data.get("priority", priority)
-                deadline = ctx.data.get("deadline_s", deadline)
-            admitted = queue.enqueue(
-                state.name,
-                request.request_id,
-                request,
-                limit=max_queue,
-                priority=priority,
-                deadline=deadline,
-            )
-            if not admitted:
-                resolve(
-                    state,
-                    RequestRecord(
-                        request_id=request.request_id,
-                        function=state.function,
-                        outcome=RequestOutcome.DROPPED,
-                        arrival_s=request.arrival_s,
-                        request_class=request.request_class,
-                        deadline_s=request.deadline_s,
-                    ),
-                )
-                return
-            # The timeout event is only materialized if the request is still
-            # waiting after the dispatch pass — most requests dispatch
-            # immediately and never need one.  Its tie-break slot is
-            # reserved *before* dispatching, so when it is scheduled it
-            # sorts exactly where an eagerly scheduled timeout would have.
-            timeout_order = loop.reserve_orders(1)
-            dispatch(loop.now)
-            if queue.is_queued(state.name, request.request_id):
-                loop.schedule_at(
-                    request.arrival_s + queue_timeout_s,
-                    expire,
-                    label="timeout",
-                    args=(state, request),
-                    order=timeout_order,
-                )
-
-        def expire(state: _TenantState, request: Request) -> None:
-            """Time out a request still waiting when its patience ran out."""
-            if not queue.cancel(state.name, request.request_id):
-                return
-            resolve(
-                state,
-                RequestRecord(
-                    request_id=request.request_id,
-                    function=state.function,
-                    outcome=RequestOutcome.TIMED_OUT,
-                    arrival_s=request.arrival_s,
-                    request_class=request.request_class,
-                    deadline_s=request.deadline_s,
-                ),
-            )
-            note(loop.now)
-
-        def control_tick(state: _TenantState) -> None:
-            if remaining <= 0:
-                return
-            now = loop.now
-            interval = now - state.last_tick_s
-            rate = state.arrivals_since_tick / interval if interval > 0 else 0.0
-            state.arrivals_since_tick = 0
-            state.last_tick_s = now
-            estimate = gateway.queue.cost_estimate(state.name)
-            sample = LoadSample(
-                time_s=now,
-                in_flight=gateway.total_in_flight(state.function) if state.replicas else 0,
-                queued=gateway.queue.depth(state.name),
-                replicas=len(state.replicas),
-                arrival_rate_rps=rate,
-                service_time_s=estimate if estimate is not None else 0.0,
-            )
-            decision = state.autoscaler.evaluate(sample)
-            if telemetry is not None:
-                forecast = getattr(state.autoscaler.policy, "forecast_rps", None)
-                telemetry.on_tick(
-                    state.name, sample, forecast() if callable(forecast) else None
-                )
-                if telemetry.progress is not None:
-                    telemetry.on_progress(
-                        now,
-                        total_requests - remaining,
-                        sum(len(s.replicas) for s in states),
-                    )
-            if decision.scale_up:
-                add_replicas(
-                    state,
-                    arbiter.grant(
-                        state.name, decision.scale_up, pool_sizes(), demand_snapshot()
-                    ),
-                    now,
-                )
-            elif decision.scale_down:
-                reclaim(state, decision.scale_down, now)
-            state.timeline.append((now, len(state.replicas)))
-            dispatch(now)
-            loop.schedule(
-                state.autoscaler.control_interval_s,
-                lambda: control_tick(state),
-                label="tick:%s" % state.name,
-            )
-
-        def reclaim(state: _TenantState, count: int, now: float) -> None:
-            """Remove up to ``count`` warm replicas idle past their keep-alive.
-
-            With the memory model on, each replica's keep-alive window is
-            discounted by its node's memory pressure — holding a warm pool
-            costs RSS-seconds, and that is only worth paying while the
-            node's memory is cheap.
-            """
-            # ``nsmallest(count, ...)`` is documented equivalent to
-            # ``sorted(...)[:count]`` (stable for ties), so the reclaim
-            # order is unchanged — it just stops sorting the whole pool to
-            # drop a couple of replicas.
-            removed = heapq.nsmallest(
-                count,
-                (
-                    replica
-                    for replica in state.replicas
-                    if replica.gw_state.in_flight == 0
-                    and replica.ready_at <= now
-                    and state.autoscaler.reclaimable(
-                        now,
-                        replica.idle_since,
-                        memory_pressure=(
-                            memory.pressure(replica.node)
-                            if memory is not None
-                            else 0.0
-                        ),
-                    )
-                ),
-                key=lambda replica: replica.idle_since,
-            )
-            for replica in removed:
-                drop_replica(state, replica, now)
-            if telemetry is not None and removed:
-                telemetry.on_scale(state.name, -len(removed), len(state.replicas), now)
+        self.evictions = runtime.evictions
 
         # Bootstrap: initial pools (arbitrated like autoscaled growth),
         # arrival events in deterministic order, one control loop per tenant.
@@ -1012,228 +384,35 @@ class MultiTenantTrafficEngine:
                 default=0.0,
             )
             telemetry.on_run_start(total_requests, duration_hint_s=last_arrival_hint)
-        for state in states:
-            if self.config.initial_replicas:
-                add_replicas(
-                    state,
-                    arbiter.grant(state.name, self.config.initial_replicas, pool_sizes()),
-                    0.0,
-                )
-            state.timeline.append((0.0, len(state.replicas)))
-        # Arrivals are *not* pre-scheduled: a million heap entries up front
-        # would dominate the run's memory and heap-sift work.  Instead the
-        # per-tenant streams — each already in (arrival_s, request_id) order —
-        # are lazily merged, one order slot per arrival is reserved so
-        # tie-breaking matches the old pre-scheduled order exactly, and each
-        # arrival event chains the next one from the merged iterator.
-        def tenant_entries(
-            index: int, state: _TenantState, requests: Sequence[Request]
-        ) -> "Iterator[Tuple[float, int, int, _TenantState, Request]]":
-            for request in requests:
-                yield (request.arrival_s, index, request.request_id, state, request)
-
-        streams = []
-        for index, state in enumerate(states):
-            requests = state.requests
-            if any(
-                (left.arrival_s, left.request_id) > (right.arrival_s, right.request_id)
-                for left, right in zip(requests, requests[1:])
-            ):
-                # Explicit request lists may arrive unordered; generated
-                # streams never do and skip the copy.
-                requests = sorted(
-                    requests, key=lambda request: (request.arrival_s, request.request_id)
-                )
-            streams.append(tenant_entries(index, state, requests))
-        # ``heapq.merge`` with already-sorted streams reproduces the old
-        # ``sorted(all_entries, key=entry[:3])`` order: keys differ across
-        # tenants (the index is part of the key) and within a tenant the
-        # stream order is preserved for ties, exactly like a stable sort.
-        arrival_iter = heapq.merge(*streams, key=lambda entry: entry[:3])
-        arrival_base = loop.reserve_orders(total_requests)
-        arrival_slot = 0
-
-        def advance_arrivals() -> None:
-            nonlocal arrival_slot
-            entry = next(arrival_iter, None)
-            if entry is None:
-                return
-            loop.schedule_at(
-                entry[0],
-                arrival_event,
-                label="arrive",
-                args=(entry[3], entry[4]),
-                order=arrival_base + arrival_slot,
-            )
-            arrival_slot += 1
-
-        def arrival_event(state: _TenantState, request: Request) -> None:
-            arrive(state, request)
-            advance_arrivals()
-
-        advance_arrivals()
-        for state in states:
-            loop.schedule(
-                state.autoscaler.control_interval_s,
-                lambda state=state: control_tick(state),
-                label="tick:%s" % state.name,
-            )
+        runtime.bootstrap(self.config.initial_replicas)
+        schedule_arrivals(loop, states, runtime.admit, total_requests)
+        runtime.start_ticks()
         if self.config.parallel_nodes:
             loop.run_parallel()
         else:
             loop.run()
 
-        if remaining != 0:
+        if counter[0] != 0:
             raise TrafficEngineError(
-                "engine finished with %d unresolved requests" % remaining
+                "engine finished with %d unresolved requests" % counter[0]
             )
-        # The routing fast path accumulated its per-request ingress
-        # overheads instead of charging each one; settle them now, before
-        # any ledger rollup is read.
-        gateway.flush_deferred_ingress()
         last_arrival = max(
             (request.arrival_s for state in states for request in state.requests),
             default=0.0,
         )
-        duration = max(last_event_s, last_arrival)
-        if memory is not None:
-            # Survivors' RSS-seconds: replicas still warm at the end of the
-            # run occupied their footprint until the run's last event.
-            for state in states:
-                for replica in state.replicas:
-                    state.rss_mb_seconds += replica.rss_mb * max(
-                        0.0, duration - replica.born_s
-                    )
-        self.middleware_stats = pipeline.stats() if pipeline is not None else {}
+        duration = max(runtime.last_event_s, last_arrival)
+        runtime.finalize(duration)
+        self.middleware_stats = runtime.middleware_stats
         if telemetry is not None:
-            if self.middleware_stats:
-                telemetry.observe_middleware(self.middleware_stats)
-            telemetry.observe_queue_stats(gateway.queue.all_stats())
-            telemetry.observe_node_usage(self._node_usage(gateway))
-            if memory is not None:
-                telemetry.observe_memory(
-                    {
-                        state.name: (
-                            state.oom_evictions,
-                            state.rss_mb_seconds,
-                            state.cpu_seconds,
-                        )
-                        for state in states
-                    }
-                )
             telemetry.on_run_end(
                 duration,
                 total_requests,
                 sum(len(state.replicas) for state in states),
             )
-        return self._summarize(states, duration, gateway)
-
-    # -- summaries -------------------------------------------------------------------
-
-    def _summarize(
-        self,
-        states: Sequence[_TenantState],
-        duration: float,
-        gateway: IngressGateway,
-    ) -> MultiTenantSummary:
-        from repro.obs.spans import waterfall_from_records
-
-        tenants: Dict[str, TrafficSummary] = {}
-        all_records: List[RequestRecord] = []
-        declared_union: List[str] = []
-        waterfall: List[WaterfallRow] = []
-        retain = self.config.retain_records
-        for state in states:
-            declared_union.extend(state.spec.class_names)
-            if retain:
-                state.records.sort(key=lambda record: record.request_id)
-                self.records[state.name] = state.records
-                all_records.extend(state.records)
-                tenants[state.name] = summarize(
-                    mode=state.spec.mode,
-                    pattern=state.spec.pattern_name,
-                    duration_s=duration,
-                    records=state.records,
-                    cold_starts=state.cold_starts,
-                    cold_start_seconds=state.cold_start_seconds,
-                    replica_timeline=state.timeline,
-                    declared_classes=state.spec.class_names,
-                    oom_evictions=state.oom_evictions,
-                    rss_mb_seconds=state.rss_mb_seconds,
-                    cpu_seconds=state.cpu_seconds,
-                )
-                waterfall.extend(waterfall_from_records(state.name, state.records))
-            else:
-                self.records[state.name] = []
-                tenants[state.name] = state.stream.summary(
-                    mode=state.spec.mode,
-                    pattern=state.spec.pattern_name,
-                    duration_s=duration,
-                    cold_starts=state.cold_starts,
-                    cold_start_seconds=state.cold_start_seconds,
-                    replica_timeline=state.timeline,
-                    declared_classes=state.spec.class_names,
-                    oom_evictions=state.oom_evictions,
-                    rss_mb_seconds=state.rss_mb_seconds,
-                    cpu_seconds=state.cpu_seconds,
-                )
-                waterfall.extend(state.stream.waterfall(state.name))
-        if retain:
-            cluster = summarize(
-                mode="cluster",
-                pattern="multi-tenant",
-                duration_s=duration,
-                records=all_records,
-                cold_starts=sum(state.cold_starts for state in states),
-                cold_start_seconds=sum(state.cold_start_seconds for state in states),
-                replica_timeline=_merge_timelines([state.timeline for state in states]),
-                declared_classes=sorted(set(declared_union)),
-                oom_evictions=sum(state.oom_evictions for state in states),
-                rss_mb_seconds=sum(state.rss_mb_seconds for state in states),
-                cpu_seconds=sum(state.cpu_seconds for state in states),
-            )
-            if len(states) > 1:
-                waterfall.extend(waterfall_from_records("cluster", all_records))
-        else:
-            cluster = self._cluster_stream.summary(
-                mode="cluster",
-                pattern="multi-tenant",
-                duration_s=duration,
-                cold_starts=sum(state.cold_starts for state in states),
-                cold_start_seconds=sum(state.cold_start_seconds for state in states),
-                replica_timeline=_merge_timelines([state.timeline for state in states]),
-                declared_classes=sorted(set(declared_union)),
-                oom_evictions=sum(state.oom_evictions for state in states),
-                rss_mb_seconds=sum(state.rss_mb_seconds for state in states),
-                cpu_seconds=sum(state.cpu_seconds for state in states),
-            )
-            if len(states) > 1:
-                waterfall.extend(self._cluster_stream.waterfall("cluster"))
-        self.waterfall = waterfall
-        return MultiTenantSummary(
-            fairness=self.fairness.value,
-            weights=gateway.queue.weights(),
-            tenants=tenants,
-            cluster=cluster,
-            queue_stats=gateway.queue.all_stats(),
-            nodes=self._node_usage(gateway),
-            middleware=self.middleware_stats,
-        )
-
-    def _node_usage(self, gateway: IngressGateway) -> Dict[str, NodeUsage]:
-        """Per-node cost rollups read off the cluster ledger's shards."""
-        ledger = gateway.orchestrator.cluster.ledger
-        shards = [ledger.cluster_shard] + list(ledger.shards().values())
-        return {
-            shard.node_name: NodeUsage(
-                node=shard.node_name,
-                charges=len(shard),
-                total_seconds=shard.total_seconds(),
-                cpu_seconds=shard.cpu_seconds(),
-                peak_memory_mb=shard.peak_memory_bytes() / MB,
-            )
-            for shard in shards
-        }
+        summary = runtime.snapshot(duration)
+        self.records = runtime.records
+        self.waterfall = runtime.waterfall
+        return summary
 
     # -- service times ---------------------------------------------------------------
 
@@ -1282,34 +461,6 @@ class MultiTenantTrafficEngine:
         )
         for key, value in zip(needed, results):
             self._service_cache[key] = value
-
-
-def _merge_timelines(
-    timelines: Sequence[Sequence[Tuple[float, int]]],
-) -> List[Tuple[float, int]]:
-    """Sum per-tenant (time, pool size) step functions into a cluster total."""
-    # Each tenant's timeline is appended in event order (non-decreasing
-    # time), so an N-way merge replaces the global sort.  The per-stream
-    # sort is near-free on the almost-sorted input; it only reorders
-    # same-instant entries by count, reproducing the full-tuple order the
-    # replaced ``sorted()`` imposed (cross-stream ties already fall to the
-    # tenant index inside each entry).
-    events = heapq.merge(
-        *(
-            sorted((time_s, index, count) for time_s, count in timeline)
-            for index, timeline in enumerate(timelines)
-        )
-    )
-    current = [0] * len(timelines)
-    merged: List[Tuple[float, int]] = []
-    for time_s, index, count in events:
-        current[index] = count
-        total = sum(current)
-        if merged and merged[-1][0] == time_s:
-            merged[-1] = (time_s, total)
-        else:
-            merged.append((time_s, total))
-    return merged
 
 
 def _ordered_requests(requests: Sequence[Request]) -> Tuple[Request, ...]:

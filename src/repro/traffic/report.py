@@ -20,6 +20,7 @@ from repro.traffic.tenants import MultiTenantSummary
 
 if TYPE_CHECKING:  # pragma: no cover - type-only; repro.obs imports this package
     from repro.obs.spans import WaterfallRow
+    from repro.traffic.federation import FederationSummary
 
 
 def render_summary_table(
@@ -386,6 +387,77 @@ def render_multi_tenant_report(summary: MultiTenantSummary) -> str:
         render_replica_timeline(tenant_summary, label=name)
         for name, tenant_summary in summary.tenants.items()
     )
+    return "\n".join(parts)
+
+
+def render_router_table(summary: "FederationSummary") -> str:
+    """The global router's placement accounting, one row per region."""
+    stats = summary.router
+    headers = ["region", "placed", "home tenants", "status"]
+    homes: Dict[str, List[str]] = {region: [] for region in summary.regions}
+    for tenant, region in summary.home.items():
+        homes.setdefault(region, []).append(tenant)
+    rows = [
+        [
+            region,
+            stats.placements.get(region, 0),
+            ", ".join(sorted(homes.get(region, []))) or "-",
+            "FAILED" if region in summary.failed_regions else "up",
+        ]
+        for region in summary.regions
+    ]
+    parts = [
+        format_table(
+            headers,
+            rows,
+            title="Global router (%s): %d local, %d remote, %d spillovers, %d failovers"
+            % (stats.policy, stats.local, stats.remote, stats.spillovers, stats.failovers),
+        )
+    ]
+    if stats.wan_bytes:
+        parts.append(
+            "WAN: %.1f MB shipped cross-region, %.3f s of transfer time paid"
+            % (stats.wan_bytes / 1e6, stats.wan_seconds)
+        )
+    return "\n".join(parts)
+
+
+def render_federation_report(summary: "FederationSummary") -> str:
+    """The multi-region report: router, per-region and global rollups."""
+    region_rollups = {
+        region: region_summary.cluster
+        for region, region_summary in summary.regions.items()
+    }
+    parts = [
+        "Federated load: %d regions behind one global router, policy=%s, fairness=%s"
+        " (simulated time)"
+        % (len(summary.regions), summary.router.policy, summary.fairness),
+        "",
+        render_router_table(summary),
+        "",
+        render_summary_table(
+            region_rollups, title="Per-region rollup", label="region"
+        ),
+        "",
+        render_summary_table(
+            summary.tenants, title="Per-tenant summary (all regions)", label="tenant"
+        ),
+        "",
+        render_latency_tables(region_rollups, label="region"),
+        "",
+        render_summary_table(
+            {"federation": summary.cluster}, title="Federation rollup", label="scope"
+        ),
+        "",
+    ]
+    for region, region_summary in summary.regions.items():
+        parts.extend(
+            [
+                "=== region %s ===" % region,
+                "",
+                render_multi_tenant_report(region_summary),
+            ]
+        )
     return "\n".join(parts)
 
 

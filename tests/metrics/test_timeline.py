@@ -9,7 +9,9 @@ from repro.metrics.timeline import (
     TimelineError,
     charges_to_spans,
     export_chrome_trace,
+    export_federation_trace,
     export_traffic_trace,
+    federation_trace_events,
     ledger_to_spans,
     read_trace_events,
     request_trace_events,
@@ -158,3 +160,41 @@ def test_traffic_trace_round_trip_with_ledger(tmp_path):
     outer = [e for e in async_events if e["name"] == "req-tenant-1-1"][0]
     assert outer["args"]["outcome"] == "completed"
     assert outer["args"]["replica"] == "replica-1"
+
+
+def test_federation_trace_events_group_pids_by_region():
+    events = federation_trace_events(
+        {
+            "eu-west": [_trace(request_id=1, node="eu-west-0"),
+                        _trace(request_id=2, node="eu-west-1")],
+            "us-east": [_trace(request_id=3, node="us-east-0")],
+            "ap-south": [],  # a region that served nothing still gets a lane
+        }
+    )
+    metadata = [e for e in events if e["ph"] == "M"]
+    names = [e["args"]["name"] for e in metadata]
+    assert names == [
+        "eu-west/eu-west-0",
+        "eu-west/eu-west-1",
+        "us-east/us-east-0",
+        "ap-south/gateway",
+    ]
+    pids = [e["pid"] for e in metadata]
+    assert pids == sorted(pids) and len(set(pids)) == len(pids)
+    # Every slice's pid belongs to its region's block.
+    by_name = dict(zip(names, pids))
+    for event in events:
+        if event["ph"] == "b" and event["cat"] == "request":
+            assert event["pid"] in by_name.values()
+
+
+def test_export_federation_trace_round_trips(tmp_path):
+    path = export_federation_trace(
+        str(tmp_path / "fed-trace.json"),
+        {"eu": [_trace(node="eu-0")], "us": [_trace(request_id=2, node="us-0")]},
+    )
+    events = read_trace_events(path)
+    regions = {
+        e["args"]["name"].split("/")[0] for e in events if e["ph"] == "M"
+    }
+    assert regions == {"eu", "us"}

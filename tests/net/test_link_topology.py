@@ -47,6 +47,22 @@ def test_link_validation(model):
         NetworkLink(model).transfer_seconds(-1)
 
 
+def test_link_rejects_non_finite_parameters(model):
+    with pytest.raises(LinkError, match="bandwidth must be positive and finite"):
+        NetworkLink(model, bandwidth=float("inf"))
+    with pytest.raises(LinkError, match="bandwidth must be positive and finite"):
+        NetworkLink(model, bandwidth=float("nan"))
+    with pytest.raises(LinkError, match="RTT must be non-negative and finite"):
+        NetworkLink(model, rtt=float("inf"))
+    with pytest.raises(LinkError, match="RTT must be non-negative and finite"):
+        NetworkLink(model, rtt=float("nan"))
+
+
+def test_link_error_names_the_link_and_value(model):
+    with pytest.raises(LinkError, match="-7"):
+        NetworkLink(model, bandwidth=-7)
+
+
 def test_link_packet_count(model):
     link = NetworkLink(model)
     assert link.packets(0) == 1
@@ -97,6 +113,18 @@ def test_topology_validation(model):
         topo.connect("a", "a")
     with pytest.raises(TopologyError):
         topo.link_between("a", "missing")
+
+
+def test_topology_rejects_duplicate_edges(model):
+    topo = Topology(model)
+    topo.add_node("a")
+    topo.add_node("b")
+    topo.connect("a", "b")
+    with pytest.raises(TopologyError, match="already connected"):
+        topo.connect("a", "b")
+    # Edges are undirected: the reversed pair is the same edge.
+    with pytest.raises(TopologyError, match="already connected"):
+        topo.connect("b", "a")
 
 
 def test_topology_custom_bandwidth(model):

@@ -193,3 +193,40 @@ def test_scale_to_can_shrink_idle_pools_to_zero():
     gateway.release("worker", busy)
     gateway.scale_to(spec, 0, allow_shrink=True)
     assert gateway.pool_size("worker") == 0
+
+
+def test_drain_evacuates_backlog_without_touching_stats():
+    # Federation failover path: a failed region's backlog is evacuated
+    # verbatim — no dispatch/drop/timeout accounting happens here, the
+    # surviving region re-admits and accounts each request itself.
+    queue = FairQueue(policy=FairnessPolicy.WFQ)
+    queue.register_tenant("a", 2)
+    for index in range(5):
+        queue.enqueue("a", index, "req-%d" % index)
+    drained = queue.drain("a")
+    assert [item_id for item_id, _ in drained] == [0, 1, 2, 3, 4]
+    assert [item for _, item in drained] == ["req-%d" % i for i in range(5)]
+    stats = queue.stats("a")
+    assert stats.enqueued == 5
+    assert stats.dispatched == 0
+    assert stats.dropped == 0
+    assert stats.timed_out == 0
+    assert queue.depth("a") == 0
+    assert queue.drain("a") == []  # idempotent on an empty queue
+
+
+def test_drain_skips_cancelled_ghosts():
+    queue = FairQueue(policy=FairnessPolicy.FIFO)
+    queue.register_tenant("a")
+    for index in range(4):
+        queue.enqueue("a", index, "req-%d" % index)
+    assert queue.cancel("a", 1)
+    assert queue.cancel("a", 3)
+    drained = queue.drain("a")
+    assert [item_id for item_id, _ in drained] == [0, 2]
+
+
+def test_drain_requires_a_registered_tenant():
+    queue = FairQueue()
+    with pytest.raises(GatewayError):
+        queue.drain("ghost")

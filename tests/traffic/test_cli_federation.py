@@ -1,0 +1,137 @@
+"""CLI paths for federated runs: --clusters, router flags, region artifacts."""
+
+import io
+import json
+import os
+from contextlib import redirect_stderr, redirect_stdout
+
+from repro.cli import main
+from repro.metrics.export import federation_from_figure, figure_from_json
+from repro.metrics.timeline import read_trace_events
+from repro.obs import parse_prometheus, read_jsonl
+
+CLUSTERS = json.dumps(
+    [
+        {"region": "eu-west", "nodes": 4, "tenants": ["steady"]},
+        {"region": "us-east", "nodes": 4, "tenants": ["spiky"]},
+    ]
+)
+TENANTS = json.dumps(
+    [
+        {"name": "steady", "pattern": "poisson", "rps": 25, "duration": 6},
+        {"name": "spiky", "pattern": "poisson", "rps": 40, "duration": 6},
+    ]
+)
+
+
+def _run(argv):
+    out, err = io.StringIO(), io.StringIO()
+    with redirect_stdout(out), redirect_stderr(err):
+        code = main(argv)
+    return code, out.getvalue(), err.getvalue()
+
+
+def _federated(*extra):
+    return [
+        "traffic", "--tenants", TENANTS, "--clusters", CLUSTERS,
+        "--seed", "3", "--wan-ms", "40", "--wan-mbps", "500",
+    ] + list(extra)
+
+
+def test_federated_run_prints_router_and_region_rollups():
+    code, out, err = _run(_federated("--global-router", "locality"))
+    assert code == 0, err
+    assert "Global router (locality)" in out
+    assert "Per-region rollup" in out
+    assert "=== region eu-west ===" in out
+    assert "=== region us-east ===" in out
+
+
+def test_federated_artifacts_carry_region_attribution(tmp_path):
+    metrics = str(tmp_path / "metrics.prom")
+    trace = str(tmp_path / "trace.json")
+    events = str(tmp_path / "events.jsonl")
+    figure = str(tmp_path / "fed.json")
+    code, out, err = _run(
+        _federated(
+            "--fail-region", "us-east@3",
+            "--metrics-out", metrics,
+            "--trace-out", trace,
+            "--events-out", events,
+            "--export", figure, "--format", "json",
+        )
+    )
+    assert code == 0, err
+    assert "FAILED" in out  # the router table marks the dead region
+
+    # Prometheus: one shared exposition, children qualified by region.
+    parsed = parse_prometheus(open(metrics, encoding="utf-8").read())
+    requests = parsed["repro_requests_total"]
+    assert any('region="eu-west"' in child for child in requests)
+    assert any('region="us-east"' in child for child in requests)
+
+    # JSONL: one stream per region, every event stamped with its region.
+    for region in ("eu-west", "us-east"):
+        stream = read_jsonl(str(tmp_path / ("events-%s.jsonl" % region)))
+        assert stream and all(event["region"] == region for event in stream)
+
+    # Perfetto: one pid-group per region.
+    trace_events = read_trace_events(trace)
+    process_names = [
+        e["args"]["name"] for e in trace_events if e.get("ph") == "M"
+    ]
+    assert {name.split("/")[0] for name in process_names} == {
+        "eu-west",
+        "us-east",
+    }
+
+    # Figure: per-region series round-trip, failure and policy included.
+    restored = federation_from_figure(
+        figure_from_json(open(figure, encoding="utf-8").read())
+    )
+    assert sorted(restored["regions"]) == ["eu-west", "us-east"]
+    assert restored["router"].policy == "locality"
+    assert restored["failed_regions"] == ("us-east",)
+
+    # Provenance: the manifest records every artifact exactly once.
+    manifest = json.load(
+        open(os.path.join(str(tmp_path), "manifest.json"), encoding="utf-8")
+    )
+    recorded = sorted(os.path.basename(path) for path in manifest["outputs"])
+    assert recorded == [
+        "events-eu-west.jsonl",
+        "events-us-east.jsonl",
+        "fed.json",
+        "metrics.prom",
+        "trace.json",
+    ]
+    assert len(recorded) == len(set(recorded))
+
+
+def test_federated_run_rejects_bad_specs():
+    code, _, err = _run(
+        ["traffic", "--clusters", '[{"region": "eu", "bogus": 1}]']
+    )
+    assert code == 2
+    assert "invalid traffic parameters" in err
+    code, _, err = _run(_federated("--fail-region", "mars@1"))
+    assert code == 2
+    assert "mars" in err
+
+
+def test_compare_policies_writes_manifest_for_its_export(tmp_path):
+    figure = str(tmp_path / "policies.json")
+    code, out, err = _run(
+        [
+            "traffic", "--pattern", "poisson", "--rps", "20", "--duration", "4",
+            "--modes", "roadrunner-user", "--seed", "9",
+            "--compare-policies", "target,none",
+            "--export", figure, "--format", "json",
+        ]
+    )
+    assert code == 0, err
+    manifest = json.load(
+        open(os.path.join(str(tmp_path), "manifest.json"), encoding="utf-8")
+    )
+    assert [os.path.basename(p) for p in manifest["outputs"]] == ["policies.json"]
+    assert manifest["seed"] == 9

@@ -127,3 +127,69 @@ def test_malformed_inputs_raise_export_errors(multi_tenant_result):
     plain.add_point("latency", "RoadRunner", 0.1)
     with pytest.raises(ExportError):
         traffic_from_figure(plain)
+
+
+# -- federation figures -------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def federation_summary():
+    from repro.traffic.arrivals import PoissonArrivals
+    from repro.traffic.federation import ClusterSpec, FederatedTrafficEngine
+
+    tenants = [
+        TenantSpec(
+            name="steady",
+            mode="roadrunner-user",
+            arrivals=PoissonArrivals(
+                rate_rps=25.0, duration_s=5.0, payload_mb=1.0, seed=3
+            ),
+        ),
+        TenantSpec(
+            name="spiky",
+            mode="roadrunner-user",
+            arrivals=PoissonArrivals(
+                rate_rps=40.0, duration_s=5.0, payload_mb=1.0, seed=5
+            ),
+        ),
+    ]
+    clusters = [
+        ClusterSpec(region="eu-west", nodes=4, tenants=("steady",)),
+        ClusterSpec(region="us-east", nodes=4, tenants=("spiky",)),
+    ]
+    return FederatedTrafficEngine(
+        tenants, clusters, fail_at={"us-east": 2.5}
+    ).run()
+
+
+@pytest.mark.parametrize("fmt", ["csv", "json"])
+def test_federation_figure_round_trips_per_region_series(federation_summary, fmt):
+    from repro.metrics.export import federation_from_figure, federation_to_figure
+
+    figure = federation_to_figure(federation_summary)
+    encoded = figure_to_csv(figure) if fmt == "csv" else figure_to_json(figure)
+    decoded = figure_from_csv(encoded) if fmt == "csv" else figure_from_json(encoded)
+    restored = federation_from_figure(decoded)
+    assert sorted(restored["regions"]) == ["eu-west", "us-east"]
+    for region, summary in restored["regions"].items():
+        original = federation_summary.region(region).cluster
+        assert summary.offered == original.offered
+        assert summary.completed == original.completed
+    assert restored["cluster"].offered == federation_summary.cluster.offered
+    router = restored["router"]
+    assert router.policy == federation_summary.router.policy
+    assert router.spillovers == federation_summary.router.spillovers
+    assert router.wan_bytes == federation_summary.router.wan_bytes
+    assert restored["failed_regions"] == ("us-east",)
+
+
+def test_federation_from_figure_tolerates_old_plain_traffic_figures(multi_tenant_result):
+    from repro.metrics.export import federation_from_figure
+
+    # A pre-federation multi-tenant figure has no regions panel: parsing
+    # must degrade gracefully, not raise.
+    old = multi_tenant_to_figure(multi_tenant_result)
+    restored = federation_from_figure(figure_from_json(figure_to_json(old)))
+    assert restored["router"].policy == "unknown"
+    assert restored["failed_regions"] == ()
+    assert restored["router"].spillovers == 0
